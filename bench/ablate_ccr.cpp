@@ -1,0 +1,55 @@
+// Ablation (paper §6.2-6.3 observation): degradations/NSL "in general
+// increase with CCRs" -- communication dominance hurts every class.
+//
+// Sweep CCR over {0.1, 0.5, 1, 2, 10} at fixed v=200 and report average
+// NSL per algorithm (all 15; APN on hcube3).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "tgs/gen/rgnos.h"
+#include "tgs/harness/experiment.h"
+#include "tgs/harness/registry.h"
+#include "tgs/harness/runner.h"
+#include "tgs/net/routing.h"
+#include "tgs/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace tgs;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const int graphs = static_cast<int>(cli.get_int("graphs", 4));
+  const NodeId nodes = static_cast<NodeId>(cli.get_int("nodes", 200));
+
+  std::vector<std::string> columns;
+  for (const auto& a : make_unc_schedulers()) columns.push_back(a->name());
+  for (const auto& a : make_bnp_schedulers()) columns.push_back(a->name());
+  for (const auto& a : make_apn_schedulers())
+    columns.push_back(a->name() + "(APN)");
+  PivotStats stats("CCR", columns);
+
+  const RoutingTable routes{Topology::hypercube(3)};
+
+  for (double ccr : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    for (int i = 0; i < graphs; ++i) {
+      RgnosParams p;
+      p.num_nodes = nodes;
+      p.ccr = ccr;
+      p.parallelism = 1 + i % 5;
+      p.seed = seed + static_cast<std::uint64_t>(i) * 131;
+      const TaskGraph g = rgnos_graph(p);
+      for (const auto& a : make_unc_and_bnp_schedulers())
+        stats.add(ccr, a->name(), run_scheduler(*a, g, {}).nsl);
+      for (const auto& a : make_apn_schedulers())
+        stats.add(ccr, a->name() + "(APN)",
+                  run_apn_scheduler(*a, g, routes).nsl);
+    }
+    std::fprintf(stderr, "[ccr] %.1f done\n", ccr);
+  }
+
+  std::printf("CCR sensitivity: %d RGNOS graphs (v=%u) per CCR, seed=%llu\n"
+              "Expect every column to increase down the table.\n\n",
+              graphs, nodes, static_cast<unsigned long long>(seed));
+  bench::emit("ablate_ccr", "Ablation: average NSL vs CCR (all 15 algorithms)",
+              stats.render(3));
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation (paper §7): "Dynamic priority is in general better than static
+// priority, although it can cause substantial complexity gain ... one
+// exception is that the MCP algorithm using static priorities performs
+// the best in its class", and "CP-based algorithms perform better than
+// non-CP-based ones".
+//
+// Static-priority BNP: HLFET, ISH, MCP.  Dynamic: ETF, DLS.
+// CP-based: MCP (BNP), DCP/DSC/MD (UNC).  Non-CP: HLFET/ISH/ETF/DLS/LAST,
+// EZ/LC. The table reports per-CCR average NSL of each group plus MCP
+// alone (the paper's exception), and the average scheduling time of each
+// group to expose the complexity trade-off.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "tgs/gen/rgnos.h"
+#include "tgs/harness/experiment.h"
+#include "tgs/harness/registry.h"
+#include "tgs/harness/runner.h"
+#include "tgs/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace tgs;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const int graphs = static_cast<int>(cli.get_int("graphs", 6));
+
+  PivotStats nsl("CCR", {"static(HLFET,ISH)", "dynamic(ETF,DLS)", "MCP",
+                         "CP-based(UNC)", "non-CP(UNC)"});
+  PivotStats time_ms("CCR", {"static(HLFET,ISH)", "dynamic(ETF,DLS)", "MCP",
+                             "CP-based(UNC)", "non-CP(UNC)"});
+
+  auto run_group = [&](const std::vector<const char*>& names,
+                       const TaskGraph& g, double ccr, const char* column) {
+    for (const char* n : names) {
+      const RunResult r = run_scheduler(*make_scheduler(n), g, {});
+      nsl.add(ccr, column, r.nsl);
+      time_ms.add(ccr, column, r.seconds * 1e3);
+    }
+  };
+
+  for (double ccr : {0.1, 1.0, 10.0}) {
+    for (int i = 0; i < graphs; ++i) {
+      RgnosParams p;
+      p.num_nodes = 150;
+      p.ccr = ccr;
+      p.parallelism = 1 + i % 5;
+      p.seed = seed + static_cast<std::uint64_t>(i) * 313 +
+               static_cast<std::uint64_t>(ccr * 10);
+      const TaskGraph g = rgnos_graph(p);
+      run_group({"HLFET", "ISH"}, g, ccr, "static(HLFET,ISH)");
+      run_group({"ETF", "DLS"}, g, ccr, "dynamic(ETF,DLS)");
+      run_group({"MCP"}, g, ccr, "MCP");
+      run_group({"DCP", "DSC", "MD"}, g, ccr, "CP-based(UNC)");
+      run_group({"EZ", "LC"}, g, ccr, "non-CP(UNC)");
+    }
+  }
+
+  std::printf("Priority ablation: %d RGNOS graphs (v=150) per CCR, seed=%llu\n\n",
+              graphs, static_cast<unsigned long long>(seed));
+  bench::emit("ablate_priority_nsl",
+              "Ablation: priority scheme, average NSL per group", nsl.render(3));
+  bench::emit("ablate_priority_time",
+              "Ablation: priority scheme, average scheduling time (ms)",
+              time_ms.render(2));
+  return 0;
+}

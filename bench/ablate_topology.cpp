@@ -1,0 +1,63 @@
+// Ablation (paper §6.4.1, results excluded there for space): "In terms of
+// the impact of the topology, we find that all algorithms perform better
+// on the networks with more communication links."
+//
+// Four 8-processor machines with increasing connectivity:
+//   ring8 (8 links) < mesh2x4 (10) < hcube3 (12) < clique8 (28).
+// The table reports per-topology average NSL for each APN algorithm.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "tgs/gen/rgnos.h"
+#include "tgs/harness/experiment.h"
+#include "tgs/harness/registry.h"
+#include "tgs/harness/runner.h"
+#include "tgs/net/routing.h"
+#include "tgs/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace tgs;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const int graphs = static_cast<int>(cli.get_int("graphs", 4));
+  const NodeId nodes = static_cast<NodeId>(cli.get_int("nodes", 120));
+
+  std::vector<RoutingTable> machines;
+  machines.emplace_back(Topology::ring(8));
+  machines.emplace_back(Topology::mesh(2, 4));
+  machines.emplace_back(Topology::hypercube(3));
+  machines.emplace_back(Topology::fully_connected(8));
+
+  PivotStats stats("links", apn_names());
+
+  for (const auto& routes : machines) {
+    const double key = routes.topology().num_links();
+    for (int i = 0; i < graphs; ++i) {
+      RgnosParams p;
+      p.num_nodes = nodes;
+      p.ccr = i % 2 == 0 ? 1.0 : 2.0;
+      p.parallelism = 2 + i % 3;
+      p.seed = seed + static_cast<std::uint64_t>(i) * 97;
+      const TaskGraph g = rgnos_graph(p);
+      for (const auto& a : make_apn_schedulers()) {
+        const RunResult r = run_apn_scheduler(*a, g, routes);
+        if (!r.valid) {
+          std::fprintf(stderr, "INVALID %s on %s: %s\n", r.algo.c_str(),
+                       routes.topology().name().c_str(), r.error.c_str());
+          return 1;
+        }
+        stats.add(key, a->name(), r.nsl);
+      }
+    }
+    std::fprintf(stderr, "[topology] %s done\n",
+                 routes.topology().name().c_str());
+  }
+
+  std::printf("Topology ablation: %d RGNOS graphs (v=%u) per machine, "
+              "seed=%llu.\nRows are keyed by link count: 8=ring, 10=mesh2x4, "
+              "12=hcube3, 28=clique8.\nExpect NSL to fall as links grow.\n\n",
+              graphs, nodes, static_cast<unsigned long long>(seed));
+  bench::emit("ablate_topology", "Ablation: APN NSL vs network connectivity",
+              stats.render(3));
+  return 0;
+}

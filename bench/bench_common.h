@@ -1,0 +1,44 @@
+// Shared helpers for the bench binaries: output conventions and the
+// default RGNOS replication set.
+//
+// Conventions: every bench prints its parameters (including seeds) and a
+// paper-shaped ASCII table to stdout, and writes the same table as CSV to
+// ./bench_results/<name>.csv. `--reps`, `--seed`, `--budget`, `--full`
+// flags are honoured where meaningful.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tgs/util/table.h"
+
+namespace tgs::bench {
+
+inline void emit(const std::string& name, const std::string& title,
+                 const Table& table) {
+  std::printf("== %s ==\n%s\n", title.c_str(), table.to_ascii().c_str());
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  const std::string path = "bench_results/" + name + ".csv";
+  if (!table.write_csv(path))
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  else
+    std::printf("[csv: %s]\n\n", path.c_str());
+}
+
+/// Default RGNOS (CCR, parallelism) replications per size: a diverse
+/// 5-graph slice of the paper's 25-combination grid. --full uses all 25.
+inline std::vector<std::pair<double, int>> rgnos_reps(bool full) {
+  if (full) {
+    std::vector<std::pair<double, int>> all;
+    for (double ccr : {0.1, 0.5, 1.0, 2.0, 10.0})
+      for (int par : {1, 2, 3, 4, 5}) all.emplace_back(ccr, par);
+    return all;
+  }
+  return {{0.1, 3}, {1.0, 1}, {1.0, 3}, {2.0, 5}, {10.0, 3}};
+}
+
+}  // namespace tgs::bench

@@ -1,0 +1,70 @@
+// Extension (paper §7 future work): "It would be an interesting study to
+// compare the BNP approach with the UNC+CS approach" -- UNC clustering
+// followed by cluster scheduling (Sarkar's order-aware merging vs Yang's
+// RCP load balancing) onto a bounded machine.
+//
+// Pipeline: {DSC, DCP} clustering -> {Sarkar, RCP} mapping onto p
+// processors, compared with running {MCP, ETF} directly at p. The table
+// reports average NSL per graph size at p=8.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "tgs/gen/rgnos.h"
+#include "tgs/harness/experiment.h"
+#include "tgs/harness/registry.h"
+#include "tgs/map/cluster_map.h"
+#include "tgs/sched/metrics.h"
+#include "tgs/sched/validate.h"
+#include "tgs/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace tgs;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const int procs = static_cast<int>(cli.get_int("procs", 8));
+  const int graphs = static_cast<int>(cli.get_int("graphs", 4));
+
+  PivotStats stats("v", {"DSC+Sarkar", "DSC+RCP", "DCP+Sarkar", "DCP+RCP",
+                         "MCP", "ETF"});
+
+  for (NodeId v = 50; v <= 300; v += 50) {
+    for (int i = 0; i < graphs; ++i) {
+      RgnosParams p;
+      p.num_nodes = v;
+      p.ccr = i % 2 == 0 ? 1.0 : 2.0;
+      p.parallelism = 2 + i % 3;
+      p.seed = seed + static_cast<std::uint64_t>(i) * 59 + v;
+      const TaskGraph g = rgnos_graph(p);
+
+      for (const char* unc_name : {"DSC", "DCP"}) {
+        const Schedule unc = make_scheduler(unc_name)->run(g, {});
+        const auto clusters = clusters_of(unc);
+        const Schedule sarkar = map_clusters_sarkar(g, clusters, procs);
+        const Schedule rcp = map_clusters_rcp(g, clusters, procs);
+        if (!validate_schedule(sarkar, procs).ok ||
+            !validate_schedule(rcp, procs).ok) {
+          std::fprintf(stderr, "INVALID mapping for %s\n", unc_name);
+          return 1;
+        }
+        stats.add(v, std::string(unc_name) + "+Sarkar",
+                  normalized_schedule_length(g, sarkar.makespan()));
+        stats.add(v, std::string(unc_name) + "+RCP",
+                  normalized_schedule_length(g, rcp.makespan()));
+      }
+      SchedOptions bounded;
+      bounded.num_procs = procs;
+      for (const char* bnp_name : {"MCP", "ETF"}) {
+        const Schedule s = make_scheduler(bnp_name)->run(g, bounded);
+        stats.add(v, bnp_name, normalized_schedule_length(g, s.makespan()));
+      }
+    }
+    std::fprintf(stderr, "[unc_cs] v=%u done\n", v);
+  }
+
+  std::printf("UNC+CS extension: p=%d, %d graphs per size, seed=%llu\n\n",
+              procs, graphs, static_cast<unsigned long long>(seed));
+  bench::emit("ext_unc_cs",
+              "Extension: UNC + cluster scheduling vs direct BNP (avg NSL)",
+              stats.render(3));
+  return 0;
+}

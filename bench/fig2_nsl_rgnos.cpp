@@ -1,0 +1,68 @@
+// Figure 2 (paper §6.4.1): average NSL of the UNC (a), BNP (b) and APN (c)
+// algorithms on the RGNOS benchmarks, as a function of graph size.
+//
+// Paper shape:
+//  (a) DCP lowest, then MD/DSC; EZ and LC visibly worse.
+//  (b) the greedy BNP algorithms cluster tightly; LAST clearly worst.
+//  (c) BSA best for large graphs, DLS stable, MH degrades with size, BU in
+//      between; APN NSLs are higher than (a)/(b) because only 8 processors
+//      and contended links are available.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "tgs/gen/rgnos.h"
+#include "tgs/harness/experiment.h"
+#include "tgs/harness/registry.h"
+#include "tgs/harness/runner.h"
+#include "tgs/net/routing.h"
+#include "tgs/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace tgs;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1998));
+  const NodeId max_nodes = static_cast<NodeId>(cli.get_int("max-nodes", 500));
+  const NodeId apn_max = static_cast<NodeId>(
+      cli.get_int("apn-max-nodes", static_cast<long long>(max_nodes)));
+  const auto reps = bench::rgnos_reps(cli.has("full"));
+
+  PivotStats unc_stats("v", unc_names());
+  PivotStats bnp_stats("v", bnp_names());
+  PivotStats apn_stats("v", apn_names());
+
+  const RoutingTable routes{Topology::hypercube(3)};
+
+  for (NodeId v = 50; v <= max_nodes; v += 50) {
+    for (const auto& [ccr, par] : reps) {
+      RgnosParams params;
+      params.num_nodes = v;
+      params.ccr = ccr;
+      params.parallelism = par;
+      params.seed = seed ^ (static_cast<std::uint64_t>(v) << 32) ^
+                    (static_cast<std::uint64_t>(par) << 8) ^
+                    static_cast<std::uint64_t>(ccr * 100);
+      const TaskGraph g = rgnos_graph(params);
+
+      for (const auto& a : make_unc_schedulers())
+        unc_stats.add(v, a->name(), run_scheduler(*a, g, {}).nsl);
+      for (const auto& a : make_bnp_schedulers())
+        bnp_stats.add(v, a->name(), run_scheduler(*a, g, {}).nsl);
+      if (v <= apn_max) {
+        for (const auto& a : make_apn_schedulers())
+          apn_stats.add(v, a->name(), run_apn_scheduler(*a, g, routes).nsl);
+      }
+    }
+    std::fprintf(stderr, "[fig2] v=%u done\n", v);
+  }
+
+  std::printf("RGNOS NSL sweep: seed=%llu, %zu graphs per size; APN on "
+              "hcube3 (8 procs)\n\n",
+              static_cast<unsigned long long>(seed), reps.size());
+  bench::emit("fig2a_nsl_unc", "Figure 2(a): average NSL, UNC algorithms",
+              unc_stats.render(3));
+  bench::emit("fig2b_nsl_bnp", "Figure 2(b): average NSL, BNP algorithms",
+              bnp_stats.render(3));
+  bench::emit("fig2c_nsl_apn", "Figure 2(c): average NSL, APN algorithms",
+              apn_stats.render(3));
+  return 0;
+}

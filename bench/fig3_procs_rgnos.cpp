@@ -1,0 +1,58 @@
+// Figure 3 (paper §6.4.2): average number of processors used by the UNC
+// (a) and BNP (b) algorithms on the RGNOS benchmarks, vs graph size.
+//
+// Paper shape:
+//  (a) DSC uses very many processors (a new one whenever the start time
+//      cannot be reduced), LC and EZ also many; DCP and MD markedly fewer.
+//  (b) DLS uses the fewest, MCP and ETF close, HLFET and ISH similar.
+// The BNP algorithms run with a "virtually unlimited" processor supply,
+// exactly as in the paper.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "tgs/gen/rgnos.h"
+#include "tgs/harness/experiment.h"
+#include "tgs/harness/registry.h"
+#include "tgs/harness/runner.h"
+#include "tgs/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace tgs;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1998));
+  const NodeId max_nodes = static_cast<NodeId>(cli.get_int("max-nodes", 500));
+  const auto reps = bench::rgnos_reps(cli.has("full"));
+
+  PivotStats unc_stats("v", unc_names());
+  PivotStats bnp_stats("v", bnp_names());
+
+  for (NodeId v = 50; v <= max_nodes; v += 50) {
+    for (const auto& [ccr, par] : reps) {
+      RgnosParams params;
+      params.num_nodes = v;
+      params.ccr = ccr;
+      params.parallelism = par;
+      params.seed = seed ^ (static_cast<std::uint64_t>(v) << 32) ^
+                    (static_cast<std::uint64_t>(par) << 8) ^
+                    static_cast<std::uint64_t>(ccr * 100);
+      const TaskGraph g = rgnos_graph(params);
+      for (const auto& a : make_unc_schedulers())
+        unc_stats.add(v, a->name(),
+                      static_cast<double>(run_scheduler(*a, g, {}).procs_used));
+      for (const auto& a : make_bnp_schedulers())
+        bnp_stats.add(v, a->name(),
+                      static_cast<double>(run_scheduler(*a, g, {}).procs_used));
+    }
+    std::fprintf(stderr, "[fig3] v=%u done\n", v);
+  }
+
+  std::printf("RGNOS processors-used sweep: seed=%llu, %zu graphs per size\n\n",
+              static_cast<unsigned long long>(seed), reps.size());
+  bench::emit("fig3a_procs_unc",
+              "Figure 3(a): average processors used, UNC algorithms",
+              unc_stats.render(1));
+  bench::emit("fig3b_procs_bnp",
+              "Figure 3(b): average processors used, BNP algorithms",
+              bnp_stats.render(1));
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Google-benchmark micro measurements: attribute computations and each
+// scheduling algorithm on fixed RGNOS graphs. Complements Table 6 with
+// statistically robust per-call timings.
+#include <benchmark/benchmark.h>
+
+#include "tgs/gen/rgnos.h"
+#include "tgs/graph/attributes.h"
+#include "tgs/harness/registry.h"
+#include "tgs/net/routing.h"
+
+namespace {
+
+using namespace tgs;
+
+const TaskGraph& graph_of_size(NodeId v) {
+  static std::map<NodeId, TaskGraph> cache;
+  auto it = cache.find(v);
+  if (it == cache.end()) {
+    RgnosParams p;
+    p.num_nodes = v;
+    p.ccr = 1.0;
+    p.parallelism = 3;
+    p.seed = 424242;
+    it = cache.emplace(v, rgnos_graph(p)).first;
+  }
+  return it->second;
+}
+
+void BM_BLevels(benchmark::State& state) {
+  const TaskGraph& g = graph_of_size(static_cast<NodeId>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(b_levels(g));
+}
+BENCHMARK(BM_BLevels)->Arg(100)->Arg(500);
+
+void BM_CriticalPath(benchmark::State& state) {
+  const TaskGraph& g = graph_of_size(static_cast<NodeId>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(critical_path(g));
+}
+BENCHMARK(BM_CriticalPath)->Arg(100)->Arg(500);
+
+void BM_Scheduler(benchmark::State& state, const char* name, NodeId v) {
+  const TaskGraph& g = graph_of_size(v);
+  const auto algo = make_scheduler(name);
+  for (auto _ : state) benchmark::DoNotOptimize(algo->run(g, {}));
+}
+
+void BM_ApnScheduler(benchmark::State& state, const char* name, NodeId v) {
+  const TaskGraph& g = graph_of_size(v);
+  static const RoutingTable routes{Topology::hypercube(3)};
+  const auto algo = make_apn_scheduler(name);
+  for (auto _ : state) benchmark::DoNotOptimize(algo->run(g, routes));
+}
+
+#define TGS_BENCH_SCHED(name)                                          \
+  BENCHMARK_CAPTURE(BM_Scheduler, name##_v100, #name, 100)             \
+      ->Unit(benchmark::kMillisecond);                                 \
+  BENCHMARK_CAPTURE(BM_Scheduler, name##_v300, #name, 300)             \
+      ->Unit(benchmark::kMillisecond)
+
+TGS_BENCH_SCHED(HLFET);
+TGS_BENCH_SCHED(ISH);
+TGS_BENCH_SCHED(MCP);
+TGS_BENCH_SCHED(ETF);
+TGS_BENCH_SCHED(DLS);
+TGS_BENCH_SCHED(LAST);
+TGS_BENCH_SCHED(EZ);
+TGS_BENCH_SCHED(LC);
+TGS_BENCH_SCHED(DSC);
+TGS_BENCH_SCHED(MD);
+TGS_BENCH_SCHED(DCP);
+
+BENCHMARK_CAPTURE(BM_ApnScheduler, MH_v100, "MH", 100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ApnScheduler, DLSAPN_v100, "DLS-APN", 100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ApnScheduler, BU_v100, "BU", 100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ApnScheduler, BSA_v100, "BSA", 100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

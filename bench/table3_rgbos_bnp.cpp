@@ -1,0 +1,83 @@
+// Table 3 (paper §6.2): percentage degradation from the optimal solutions
+// of the BNP algorithms on the RGBOS benchmarks, at the same processor
+// count as the branch-and-bound reference (p=2 by default).
+//
+// Paper shape: MCP is the best BNP algorithm, LAST the worst; MCP, ETF,
+// ISH and DLS beat the non-CP-based UNC algorithms; degradations rise
+// with CCR.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "tgs/gen/rgbos.h"
+#include "tgs/harness/registry.h"
+#include "tgs/optimal/bb_scheduler.h"
+#include "tgs/sched/metrics.h"
+#include "tgs/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace tgs;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1998));
+  const double budget = cli.get_double("budget", 3.0);
+  const int procs = static_cast<int>(cli.get_int("procs", 2));
+
+  const auto algos = make_bnp_schedulers();
+  std::vector<std::string> headers{"CCR", "v"};
+  for (const auto& a : algos) headers.push_back(a->name());
+  headers.push_back("optimal");
+  Table table(headers);
+
+  std::map<std::string, int> optimal_hits;
+  std::map<std::string, double> degradation_sum;
+  int cells = 0;
+
+  for (double ccr : kRgbosCcrs) {
+    for (NodeId v = kRgbosMinNodes; v <= kRgbosMaxNodes; v += kRgbosStep) {
+      const TaskGraph g = rgbos_graph(ccr, v, seed);
+
+      SchedOptions bounded;
+      bounded.num_procs = procs;
+      std::vector<Time> lengths;
+      Time best_heur = kTimeInf;
+      for (const auto& a : algos) {
+        lengths.push_back(a->run(g, bounded).makespan());
+        best_heur = std::min(best_heur, lengths.back());
+      }
+
+      BBOptions bb;
+      bb.num_procs = procs;
+      bb.time_limit_seconds = budget;
+      bb.initial_upper_bound = best_heur;
+      const BBResult opt = branch_and_bound(g, bb);
+      const Time reference = opt.schedule ? opt.length : best_heur;
+
+      std::vector<std::string> row{Table::fmt(ccr, 1), Table::fmt_int(v)};
+      for (std::size_t i = 0; i < algos.size(); ++i) {
+        const double deg = percent_degradation(lengths[i], reference);
+        degradation_sum[algos[i]->name()] += deg;
+        if (lengths[i] == reference) ++optimal_hits[algos[i]->name()];
+        row.push_back(Table::fmt(deg, 1));
+      }
+      ++cells;
+      row.push_back(std::string(opt.proven_optimal ? "" : "*") +
+                    Table::fmt_int(reference));
+      table.add_row(std::move(row));
+    }
+  }
+
+  std::vector<std::string> hits_row{"", "#opt"};
+  std::vector<std::string> avg_row{"", "Avg."};
+  for (const auto& a : algos) {
+    hits_row.push_back(Table::fmt_int(optimal_hits[a->name()]));
+    avg_row.push_back(Table::fmt(degradation_sum[a->name()] / cells, 1));
+  }
+  table.add_row(std::move(hits_row));
+  table.add_row(std::move(avg_row));
+
+  std::printf("RGBOS / BNP: seed=%llu, p=%d, B&B budget=%.1fs per instance\n\n",
+              static_cast<unsigned long long>(seed), procs, budget);
+  bench::emit("table3_rgbos_bnp",
+              "Table 3: % degradation from optimal, BNP on RGBOS", table);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table 5 (paper §6.3): percentage degradation from the pre-determined
+// optimal schedule lengths of the BNP algorithms on the RGPOS benchmarks,
+// bounded to the planted processor count.
+//
+// Paper shape: the BNP algorithms produce similar numbers of optima and
+// degradation values; at CCR 10 none finds any optimum.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "tgs/gen/rgpos.h"
+#include "tgs/harness/registry.h"
+#include "tgs/sched/metrics.h"
+#include "tgs/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace tgs;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1998));
+  const int procs = static_cast<int>(cli.get_int("procs", 4));
+
+  const auto algos = make_bnp_schedulers();
+  std::vector<std::string> headers{"CCR", "v"};
+  for (const auto& a : algos) headers.push_back(a->name());
+  headers.push_back("L_opt");
+  Table table(headers);
+
+  std::map<std::string, int> optimal_hits;
+  std::map<std::string, double> degradation_sum;
+  int cells = 0;
+
+  for (double ccr : kRgposCcrs) {
+    for (const RgposGraph& r : rgpos_suite(ccr, procs, seed)) {
+      SchedOptions opt;
+      opt.num_procs = r.num_procs;
+      std::vector<std::string> row{Table::fmt(ccr, 1),
+                                   Table::fmt_int(r.graph.num_nodes())};
+      for (const auto& a : algos) {
+        const Time len = a->run(r.graph, opt).makespan();
+        const double deg = percent_degradation(len, r.optimal_length);
+        degradation_sum[a->name()] += deg;
+        if (len == r.optimal_length) ++optimal_hits[a->name()];
+        row.push_back(Table::fmt(deg, 1));
+      }
+      ++cells;
+      row.push_back(Table::fmt_int(r.optimal_length));
+      table.add_row(std::move(row));
+    }
+  }
+
+  std::vector<std::string> hits_row{"", "#opt"};
+  std::vector<std::string> avg_row{"", "Avg."};
+  for (const auto& a : algos) {
+    hits_row.push_back(Table::fmt_int(optimal_hits[a->name()]));
+    avg_row.push_back(Table::fmt(degradation_sum[a->name()] / cells, 1));
+  }
+  table.add_row(std::move(hits_row));
+  table.add_row(std::move(avg_row));
+
+  std::printf("RGPOS / BNP: seed=%llu, p=%d (same as the plant)\n\n",
+              static_cast<unsigned long long>(seed), procs);
+  bench::emit("table5_rgpos_bnp",
+              "Table 5: % degradation from planted optimal, BNP on RGPOS",
+              table);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Table 6 (paper §6.4.3): average running times (in seconds) of all 15
+// algorithms on the RGNOS benchmarks, per graph size.
+//
+// Paper shape (relative ranking, absolute numbers are machine-bound):
+//   BNP: MCP fastest; DLS and ETF slowest (exhaustive pair search).
+//   UNC: LC fastest, then DSC, EZ; DCP and MD slowest.
+//   APN: BU fastest; MH and BSA close; DLS much slower.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "tgs/gen/rgnos.h"
+#include "tgs/harness/experiment.h"
+#include "tgs/harness/registry.h"
+#include "tgs/harness/runner.h"
+#include "tgs/net/routing.h"
+#include "tgs/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace tgs;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1998));
+  const NodeId max_nodes = static_cast<NodeId>(cli.get_int("max-nodes", 500));
+  const auto reps = bench::rgnos_reps(cli.has("full"));
+
+  std::vector<std::string> columns;
+  for (const auto& a : make_unc_schedulers()) columns.push_back(a->name());
+  for (const auto& a : make_bnp_schedulers()) columns.push_back(a->name());
+  for (const auto& a : make_apn_schedulers())
+    columns.push_back(a->name() + "(APN)");
+  PivotStats stats("v", columns);
+
+  const RoutingTable routes{Topology::hypercube(3)};
+
+  for (NodeId v = 50; v <= max_nodes; v += 50) {
+    for (const auto& [ccr, par] : reps) {
+      RgnosParams params;
+      params.num_nodes = v;
+      params.ccr = ccr;
+      params.parallelism = par;
+      params.seed = seed ^ (static_cast<std::uint64_t>(v) << 32) ^
+                    (static_cast<std::uint64_t>(par) << 8) ^
+                    static_cast<std::uint64_t>(ccr * 100);
+      const TaskGraph g = rgnos_graph(params);
+
+      for (const auto& a : make_unc_and_bnp_schedulers()) {
+        const RunResult r = run_scheduler(*a, g, {});
+        if (!r.valid) {
+          std::fprintf(stderr, "INVALID %s: %s\n", r.algo.c_str(), r.error.c_str());
+          return 1;
+        }
+        stats.add(v, r.algo, r.seconds);
+      }
+      for (const auto& a : make_apn_schedulers()) {
+        const RunResult r = run_apn_scheduler(*a, g, routes);
+        if (!r.valid) {
+          std::fprintf(stderr, "INVALID %s: %s\n", r.algo.c_str(), r.error.c_str());
+          return 1;
+        }
+        stats.add(v, r.algo + "(APN)", r.seconds);
+      }
+    }
+    std::fprintf(stderr, "[table6] v=%u done\n", v);
+  }
+
+  Table table = stats.render(4);
+  std::printf("RGNOS running times: seed=%llu, %zu graphs per size, APN on "
+              "hcube3\n\n",
+              static_cast<unsigned long long>(seed), reps.size());
+  bench::emit("table6_runtimes",
+              "Table 6: average scheduling times (seconds) on RGNOS", table);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Domain example: schedule a Cholesky factorization task graph (the
+// paper's traced-graph workload, §5.5) onto message-passing machines with
+// different interconnects, using the APN algorithms that schedule both
+// tasks AND messages on the links.
+//
+//   ./examples/cholesky_apn [--dim=12] [--comm=1.0]
+#include <cstdio>
+
+#include "tgs/gen/traced.h"
+#include "tgs/graph/attributes.h"
+#include "tgs/harness/registry.h"
+#include "tgs/harness/runner.h"
+#include "tgs/net/routing.h"
+#include "tgs/util/cli.h"
+#include "tgs/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace tgs;
+  const Cli cli(argc, argv);
+  const int dim = static_cast<int>(cli.get_int("dim", 12));
+  const double comm = cli.get_double("comm", 1.0);
+
+  const TaskGraph g = cholesky_graph(dim, comm);
+  std::printf(
+      "Cholesky N=%d: %u tasks (cdiv+cmod), %zu edges, CCR=%.2f, "
+      "CP=%lld\n\n",
+      dim, g.num_nodes(), g.num_edges(), g.ccr(),
+      static_cast<long long>(critical_path_length(g)));
+
+  std::vector<Topology> machines;
+  machines.push_back(Topology::ring(8));
+  machines.push_back(Topology::mesh(2, 4));
+  machines.push_back(Topology::hypercube(3));
+  machines.push_back(Topology::fully_connected(8));
+
+  Table table({"machine", "algorithm", "makespan", "NSL", "procs used",
+               "time(ms)"});
+  for (const auto& topo : machines) {
+    const RoutingTable routes(topo);
+    for (const auto& algo : make_apn_schedulers()) {
+      const RunResult r = run_apn_scheduler(*algo, g, routes);
+      if (!r.valid) {
+        std::fprintf(stderr, "INVALID %s on %s: %s\n", r.algo.c_str(),
+                     topo.name().c_str(), r.error.c_str());
+        return 1;
+      }
+      table.add_row({topo.name(), r.algo, Table::fmt_int(r.length),
+                     Table::fmt(r.nsl, 3), Table::fmt_int(r.procs_used),
+                     Table::fmt(r.seconds * 1e3, 2)});
+    }
+  }
+  std::printf("%s", table.to_ascii().c_str());
+  std::printf(
+      "\nNote how richer interconnects (hypercube, clique) shorten the\n"
+      "schedules relative to the ring -- the paper's excluded-for-space\n"
+      "observation in section 6.4.1.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Compare all 15 scheduling algorithms of the paper on one graph: the 11
+// UNC/BNP algorithms on the fully-connected model plus the 4 APN
+// algorithms on an 8-processor hypercube.
+//
+//   ./examples/compare_all [--nodes=120] [--ccr=1.0] [--parallelism=3]
+//                          [--seed=7]
+#include <cstdio>
+
+#include "tgs/gen/rgnos.h"
+#include "tgs/harness/registry.h"
+#include "tgs/harness/runner.h"
+#include "tgs/net/routing.h"
+#include "tgs/util/cli.h"
+#include "tgs/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace tgs;
+  const Cli cli(argc, argv);
+
+  RgnosParams params;
+  params.num_nodes = static_cast<NodeId>(cli.get_int("nodes", 120));
+  params.ccr = cli.get_double("ccr", 1.0);
+  params.parallelism = static_cast<int>(cli.get_int("parallelism", 3));
+  params.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const TaskGraph g = rgnos_graph(params);
+
+  std::printf("RGNOS graph: v=%u, e=%zu, CCR=%.2f, parallelism=%d, seed=%llu\n\n",
+              g.num_nodes(), g.num_edges(), g.ccr(), params.parallelism,
+              static_cast<unsigned long long>(params.seed));
+
+  Table table({"class", "algorithm", "makespan", "NSL", "procs", "time(ms)",
+               "valid"});
+  for (const auto& algo : make_unc_and_bnp_schedulers()) {
+    const RunResult r = run_scheduler(*algo, g, {});
+    table.add_row({algo_class_name(algo->algo_class()), r.algo,
+                   Table::fmt_int(r.length), Table::fmt(r.nsl, 3),
+                   Table::fmt_int(r.procs_used), Table::fmt(r.seconds * 1e3, 2),
+                   r.valid ? "yes" : r.error});
+  }
+  const RoutingTable routes{Topology::hypercube(3)};
+  for (const auto& algo : make_apn_schedulers()) {
+    const RunResult r = run_apn_scheduler(*algo, g, routes);
+    table.add_row({"APN", r.algo + " (hcube3)", Table::fmt_int(r.length),
+                   Table::fmt(r.nsl, 3), Table::fmt_int(r.procs_used),
+                   Table::fmt(r.seconds * 1e3, 2), r.valid ? "yes" : r.error});
+  }
+  std::printf("%s", table.to_ascii().c_str());
+  return 0;
+}

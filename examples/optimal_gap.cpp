@@ -1,0 +1,64 @@
+// How far from optimal are the heuristics? Runs the parallel
+// branch-and-bound scheduler on small random graphs (the paper's RGBOS
+// methodology, §5.2) and reports each BNP algorithm's percentage
+// degradation, like a one-row slice of the paper's Table 3.
+//
+//   ./examples/optimal_gap [--nodes=14] [--ccr=1.0] [--procs=2]
+//                          [--seed=42] [--budget=10]
+#include <cstdio>
+
+#include "tgs/gen/rgbos.h"
+#include "tgs/harness/registry.h"
+#include "tgs/optimal/bb_scheduler.h"
+#include "tgs/sched/gantt.h"
+#include "tgs/sched/metrics.h"
+#include "tgs/util/cli.h"
+#include "tgs/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace tgs;
+  const Cli cli(argc, argv);
+  const NodeId nodes = static_cast<NodeId>(cli.get_int("nodes", 14));
+  const double ccr = cli.get_double("ccr", 1.0);
+  const int procs = static_cast<int>(cli.get_int("procs", 2));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  const TaskGraph g = rgbos_graph(ccr, nodes, seed);
+  std::printf("RGBOS graph: v=%u, e=%zu, CCR=%.2f, %d processors\n", nodes,
+              g.num_edges(), g.ccr(), procs);
+
+  // Heuristics first: the best one seeds the branch-and-bound incumbent.
+  SchedOptions opt;
+  opt.num_procs = procs;
+  Time best_heur = kTimeInf;
+  std::vector<std::pair<std::string, Time>> heur;
+  for (const auto& algo : make_bnp_schedulers()) {
+    const Time len = algo->run(g, opt).makespan();
+    heur.emplace_back(algo->name(), len);
+    best_heur = std::min(best_heur, len);
+  }
+
+  BBOptions bb;
+  bb.num_procs = procs;
+  bb.time_limit_seconds = cli.get_double("budget", 10.0);
+  bb.initial_upper_bound = best_heur;
+  const BBResult r = branch_and_bound(g, bb);
+  const Time optimal = r.schedule ? r.length : best_heur;
+  std::printf("branch-and-bound: length=%lld (%s), %llu states, %.2fs\n\n",
+              static_cast<long long>(optimal),
+              r.proven_optimal ? "proven optimal" : "best found in budget",
+              static_cast<unsigned long long>(r.nodes_expanded), r.seconds);
+
+  Table table({"algorithm", "makespan", "% degradation", "optimal?"});
+  for (const auto& [name, len] : heur) {
+    table.add_row({name, Table::fmt_int(len),
+                   Table::fmt(percent_degradation(len, optimal), 2),
+                   len == optimal ? "yes" : "no"});
+  }
+  std::printf("%s", table.to_ascii().c_str());
+
+  if (r.schedule) {
+    std::printf("\noptimal schedule:\n%s", schedule_listing(*r.schedule).c_str());
+  }
+  return 0;
+}

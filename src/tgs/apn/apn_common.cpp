@@ -1,0 +1,48 @@
+#include "tgs/apn/apn_common.h"
+
+#include <algorithm>
+
+#include "tgs/unc/cluster_schedule.h"
+
+namespace tgs {
+
+Time apn_probe_est(const NetSchedule& ns, NodeId n, int p, bool insertion) {
+  const TaskGraph& g = ns.graph();
+  const Schedule& s = ns.tasks();
+  Time ready = 0;
+  for (const Adj& par : g.parents(n)) {
+    const Time ft = s.finish(par.node);
+    const int q = s.proc(par.node);
+    const Time arrival =
+        q == p ? ft : ns.probe_arrival(q, p, par.cost, ft);
+    ready = std::max(ready, arrival);
+  }
+  return s.earliest_start_on(p, ready, g.weight(n), insertion);
+}
+
+Time apn_commit_node(NetSchedule& ns, NodeId n, int p, bool insertion) {
+  const TaskGraph& g = ns.graph();
+  Schedule& s = ns.tasks();
+  Time ready = 0;
+  for (const Adj& par : g.parents(n)) {
+    const int q = s.proc(par.node);
+    const Time arrival = q == p ? s.finish(par.node)
+                                : ns.commit_message(par.node, n, p);
+    ready = std::max(ready, arrival);
+  }
+  const Time start = s.earliest_start_on(p, ready, g.weight(n), insertion);
+  s.place(n, p, start);
+  return start;
+}
+
+NetSchedule apn_build_with_assignment(const TaskGraph& g,
+                                      const RoutingTable& routes,
+                                      const std::vector<ProcId>& assign,
+                                      bool insertion) {
+  NetSchedule ns(g, routes);
+  for (NodeId n : blevel_order(g))
+    apn_commit_node(ns, n, assign[n], insertion);
+  return ns;
+}
+
+}  // namespace tgs

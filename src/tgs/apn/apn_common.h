@@ -1,0 +1,48 @@
+// Shared machinery of the APN (arbitrary processor network) algorithms:
+// the ApnScheduler interface, (node, processor) EST probes against the
+// current link state, node commitment with real message routing, and the
+// fixed-assignment network list scheduler that BU and BSA build on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tgs/net/net_schedule.h"
+#include "tgs/net/routing.h"
+
+namespace tgs {
+
+class ApnScheduler {
+ public:
+  virtual ~ApnScheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Produce a complete task + message schedule on the routed topology.
+  /// Deterministic for equal inputs.
+  virtual NetSchedule run(const TaskGraph& g, const RoutingTable& routes) const = 0;
+};
+
+using ApnSchedulerPtr = std::unique_ptr<ApnScheduler>;
+
+/// Earliest start time of ready node `n` (all parents placed) on processor
+/// `p`, probing message routes against current link reservations without
+/// committing them. Concurrent parent messages do not see each other in
+/// the probe (exactness is restored at commit time).
+Time apn_probe_est(const NetSchedule& ns, NodeId n, int p, bool insertion);
+
+/// Commit node `n` to processor `p`: routes one message per cross-processor
+/// parent edge (in ascending parent id), then places the task at the
+/// earliest feasible start. Returns the start time.
+Time apn_commit_node(NetSchedule& ns, NodeId n, int p, bool insertion);
+
+/// Deterministically materialize a complete NetSchedule from a fixed
+/// node -> processor assignment: tasks in descending b-level order,
+/// messages committed per node as above.
+NetSchedule apn_build_with_assignment(const TaskGraph& g,
+                                      const RoutingTable& routes,
+                                      const std::vector<ProcId>& assign,
+                                      bool insertion);
+
+}  // namespace tgs

@@ -1,0 +1,74 @@
+#include "tgs/apn/bsa.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace tgs {
+
+NetSchedule BsaScheduler::run(const TaskGraph& g, const RoutingTable& routes) const {
+  const Topology& topo = routes.topology();
+  const int pivot0 = topo.max_degree_proc();
+
+  // Serial injection: everything on the first pivot.
+  std::vector<ProcId> assign(g.num_nodes(), static_cast<ProcId>(pivot0));
+  NetSchedule ns = apn_build_with_assignment(g, routes, assign, /*insertion=*/true);
+
+  // Breadth-first pivot order from pivot0 (neighbours ascend by id).
+  std::vector<int> pivots;
+  {
+    std::vector<bool> seen(topo.num_procs(), false);
+    std::queue<int> q;
+    q.push(pivot0);
+    seen[pivot0] = true;
+    while (!q.empty()) {
+      const int p = q.front();
+      q.pop();
+      pivots.push_back(p);
+      for (const Topology::Neighbor& nb : topo.neighbors(p)) {
+        if (!seen[nb.proc]) {
+          seen[nb.proc] = true;
+          q.push(nb.proc);
+        }
+      }
+    }
+  }
+
+  for (int pivot : pivots) {
+    // Tasks currently on the pivot, in start-time order (a snapshot:
+    // migrations mutate the timeline).
+    std::vector<NodeId> on_pivot;
+    for (const Interval& iv : ns.tasks().timeline(pivot).intervals())
+      on_pivot.push_back(static_cast<NodeId>(iv.owner));
+
+    for (NodeId n : on_pivot) {
+      if (ns.tasks().proc(n) != pivot) continue;  // already bubbled away
+      const Time cur_start = ns.tasks().start(n);
+
+      // Best adjacent processor by probed start time.
+      int best_p = -1;
+      Time best_est = cur_start;
+      for (const Topology::Neighbor& nb : topo.neighbors(pivot)) {
+        const Time est = apn_probe_est(ns, n, nb.proc, /*insertion=*/true);
+        if (est < best_est) {
+          best_est = est;
+          best_p = nb.proc;
+        }
+      }
+      if (best_p < 0) continue;
+
+      // Tentatively migrate; roll back if the overall schedule suffers.
+      const Time before = ns.makespan();
+      assign[n] = static_cast<ProcId>(best_p);
+      NetSchedule rebuilt =
+          apn_build_with_assignment(g, routes, assign, /*insertion=*/true);
+      if (rebuilt.makespan() <= before) {
+        ns = std::move(rebuilt);
+      } else {
+        assign[n] = static_cast<ProcId>(pivot);
+      }
+    }
+  }
+  return ns;
+}
+
+}  // namespace tgs

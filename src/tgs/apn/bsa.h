@@ -1,0 +1,29 @@
+// BSA -- Bubble Scheduling and Allocation (Kwok & Ahmad; paper ref [2]).
+//
+// Classification: APN, incremental migration. The whole graph is first
+// serially injected onto a single pivot processor (the one with the most
+// links) in descending b-level order. Processors are then visited in
+// breadth-first order from the pivot; each task on the current pivot tries
+// to "bubble" to an adjacent processor when doing so strictly reduces its
+// start time, with messages re-routed on the links. A migration that would
+// lengthen the overall schedule is rolled back. The paper credits BSA's
+// strength on large graphs to "an efficient scheduling of communication
+// messages", which the explicit link re-routing reproduces.
+//
+// Implementation note: after every accepted migration the task + message
+// schedule is deterministically rebuilt from the assignment (the original
+// paper updates the schedule incrementally; rebuilding is equivalent for
+// the final schedule and keeps link bookkeeping simple).
+#pragma once
+
+#include "tgs/apn/apn_common.h"
+
+namespace tgs {
+
+class BsaScheduler final : public ApnScheduler {
+ public:
+  std::string name() const override { return "BSA"; }
+  NetSchedule run(const TaskGraph& g, const RoutingTable& routes) const override;
+};
+
+}  // namespace tgs

@@ -1,0 +1,25 @@
+// BU -- Bottom-Up scheduling (Mehdiratta & Ghose, 1994; paper ref [25]).
+//
+// Classification: APN, two-phase. Phase 1 walks the DAG BOTTOM-UP (reverse
+// topological order, exits first) assigning each node to a processor that
+// minimizes the communication pull toward its already-assigned children --
+// the cost of each child edge weighted by the routed hop distance -- with
+// accumulated load as the tie-breaker, so heavy subtrees coalesce near
+// their consumers. Phase 2 runs the deterministic fixed-assignment network
+// list scheduler (descending b-level, real message routing) to produce
+// start times. The paper finds BU the fastest APN algorithm but weak on
+// schedule quality for large graphs, which this two-phase structure
+// (assignment never revisited) reproduces.
+#pragma once
+
+#include "tgs/apn/apn_common.h"
+
+namespace tgs {
+
+class BuScheduler final : public ApnScheduler {
+ public:
+  std::string name() const override { return "BU"; }
+  NetSchedule run(const TaskGraph& g, const RoutingTable& routes) const override;
+};
+
+}  // namespace tgs

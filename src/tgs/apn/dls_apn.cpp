@@ -1,0 +1,42 @@
+#include "tgs/apn/dls_apn.h"
+
+#include "tgs/graph/attributes.h"
+#include "tgs/list/ready_list.h"
+
+namespace tgs {
+
+NetSchedule DlsApnScheduler::run(const TaskGraph& g,
+                                 const RoutingTable& routes) const {
+  const std::vector<Time> sl = static_levels(g);
+  NetSchedule ns(g, routes);
+  const int nprocs = routes.topology().num_procs();
+  ReadyList ready(g);
+
+  while (!ready.empty()) {
+    NodeId best_n = kNoNode;
+    int best_p = 0;
+    Time best_dl = 0;
+    Time best_est = 0;
+    for (NodeId m : ready.ready()) {
+      for (int p = 0; p < nprocs; ++p) {
+        const Time est = apn_probe_est(ns, m, p, /*insertion=*/false);
+        const Time dl = sl[m] - est;
+        const bool better =
+            best_n == kNoNode || dl > best_dl ||
+            (dl == best_dl &&
+             (est < best_est || (est == best_est && m < best_n)));
+        if (better) {
+          best_n = m;
+          best_p = p;
+          best_dl = dl;
+          best_est = est;
+        }
+      }
+    }
+    apn_commit_node(ns, best_n, best_p, /*insertion=*/false);
+    ready.mark_scheduled(best_n);
+  }
+  return ns;
+}
+
+}  // namespace tgs

@@ -1,0 +1,23 @@
+// DLS(APN) -- Dynamic Level Scheduling on an arbitrary network (Sih & Lee,
+// 1993; paper ref [31]).
+//
+// The APN form of DLS: dynamic level DL(n, p) = SL(n) - EST(n, p) where
+// EST accounts for message routing and link contention (Sih & Lee's
+// original targets exactly such interconnection-constrained machines).
+// At every step the (ready node, processor) pair with the largest dynamic
+// level wins. The exhaustive pair probing makes DLS the slowest APN
+// algorithm in the paper's Table 6; its NSL is "relatively stable with
+// respect to the graph size".
+#pragma once
+
+#include "tgs/apn/apn_common.h"
+
+namespace tgs {
+
+class DlsApnScheduler final : public ApnScheduler {
+ public:
+  std::string name() const override { return "DLS"; }
+  NetSchedule run(const TaskGraph& g, const RoutingTable& routes) const override;
+};
+
+}  // namespace tgs

@@ -1,0 +1,27 @@
+#include "tgs/apn/mh.h"
+
+#include "tgs/unc/cluster_schedule.h"
+
+namespace tgs {
+
+NetSchedule MhScheduler::run(const TaskGraph& g, const RoutingTable& routes) const {
+  NetSchedule ns(g, routes);
+  const int nprocs = routes.topology().num_procs();
+  // Descending b-level is a topological order, so parents are always placed
+  // before their children.
+  for (NodeId n : blevel_order(g)) {
+    int best_p = 0;
+    Time best_t = kTimeInf;
+    for (int p = 0; p < nprocs; ++p) {
+      const Time t = apn_probe_est(ns, n, p, /*insertion=*/false);
+      if (t < best_t) {
+        best_t = t;
+        best_p = p;
+      }
+    }
+    apn_commit_node(ns, n, best_p, /*insertion=*/false);
+  }
+  return ns;
+}
+
+}  // namespace tgs

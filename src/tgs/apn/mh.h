@@ -1,0 +1,23 @@
+// MH -- Mapping Heuristic (El-Rewini & Lewis, 1990; paper ref [14]).
+//
+// Classification: APN, static list, non-CP-based, greedy. List scheduling
+// in descending b-level order; each node goes to the processor that
+// minimizes its start time, where the start time accounts for message
+// routing delays and link contention via the routing table (probed against
+// current link reservations, then committed). Tasks append (non-insertion).
+// The paper observes MH "yields fairly long schedule lengths for large
+// graphs" -- its static priorities cannot react to congestion discovered
+// during scheduling.
+#pragma once
+
+#include "tgs/apn/apn_common.h"
+
+namespace tgs {
+
+class MhScheduler final : public ApnScheduler {
+ public:
+  std::string name() const override { return "MH"; }
+  NetSchedule run(const TaskGraph& g, const RoutingTable& routes) const override;
+};
+
+}  // namespace tgs

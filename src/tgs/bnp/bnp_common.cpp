@@ -1,0 +1,47 @@
+#include "tgs/bnp/bnp_common.h"
+
+namespace tgs {
+
+ArrivalInfo compute_arrival(const Schedule& s, NodeId n) {
+  const TaskGraph& g = s.graph();
+  ArrivalInfo info;
+  for (const Adj& par : g.parents(n)) {
+    const ProcId q = s.proc(par.node);
+    const Time ft = s.finish(par.node);
+    const Time with_comm = ft + par.cost;
+    if (with_comm > info.max1) {
+      info.max1 = with_comm;
+      info.proc1 = q;
+    }
+    // local finish per processor
+    auto it = std::lower_bound(
+        info.local_ft.begin(), info.local_ft.end(), q,
+        [](const std::pair<ProcId, Time>& e, ProcId pid) { return e.first < pid; });
+    if (it != info.local_ft.end() && it->first == q) {
+      it->second = std::max(it->second, ft);
+    } else {
+      info.local_ft.insert(it, {q, ft});
+    }
+  }
+  // Second pass for max2 (needs final proc1).
+  for (const Adj& par : g.parents(n)) {
+    if (s.proc(par.node) == info.proc1) continue;
+    info.max2 = std::max(info.max2, s.finish(par.node) + par.cost);
+  }
+  return info;
+}
+
+ProcChoice best_est_proc(const Schedule& s, NodeId n, const ProcScanner& scanner,
+                         bool insertion) {
+  const ArrivalInfo arrival = compute_arrival(s, n);
+  const Cost dur = s.graph().weight(n);
+  ProcChoice best{0, kTimeInf};
+  const int count = scanner.scan_count();
+  for (ProcId p = 0; p < count; ++p) {
+    const Time t = s.earliest_start_on(p, arrival.ready_on(p), dur, insertion);
+    if (t < best.start) best = {p, t};
+  }
+  return best;
+}
+
+}  // namespace tgs

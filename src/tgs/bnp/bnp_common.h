@@ -1,0 +1,79 @@
+// Shared machinery of the BNP (bounded number of processors) list
+// schedulers. Two concerns live here:
+//
+//  * ProcScanner -- keeps processor usage dense (a new processor is only
+//    considered once all lower-numbered ones hold work), which both bounds
+//    the scan and makes processor choice deterministic.
+//  * ArrivalInfo -- O(1) data-ready queries per (node, processor) pair.
+//    Once a node is ready, all its parents are placed and never move, so
+//    the arrival profile can be summarized as: the two largest comm-paid
+//    arrivals (with the processor of the largest) plus per-processor local
+//    finish maxima. This turns the O(parents) inner loop of ETF/DLS into
+//    O(1), which matters at the paper's 500-node / 250-graph scale.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "tgs/sched/schedule.h"
+#include "tgs/sched/scheduler.h"
+#include "tgs/util/types.h"
+
+namespace tgs {
+
+/// Tracks how many processors hold at least one task, assuming algorithms
+/// always pick the lowest-numbered empty processor when opening a new one.
+class ProcScanner {
+ public:
+  explicit ProcScanner(int limit) : limit_(limit) {}
+
+  /// Number of processors worth scanning: every used one plus one fresh,
+  /// capped by the machine size.
+  int scan_count() const { return std::min(limit_, used_ + 1); }
+
+  int limit() const { return limit_; }
+  int used() const { return used_; }
+
+  void note_placement(ProcId p) {
+    used_ = std::max(used_, static_cast<int>(p) + 1);
+  }
+
+ private:
+  int limit_;
+  int used_ = 0;
+};
+
+/// Arrival summary of a ready node (all parents placed).
+struct ArrivalInfo {
+  Time max1 = 0;            // largest FT(parent) + c over all parents
+  ProcId proc1 = kNoProc;   // processor of that parent
+  Time max2 = 0;            // largest FT + c over parents NOT on proc1
+  // Per-processor max FT(parent) for parents on that processor, sorted.
+  std::vector<std::pair<ProcId, Time>> local_ft;
+
+  /// Data-ready time of the node on processor p.
+  Time ready_on(ProcId p) const {
+    Time ready = (p == proc1) ? max2 : max1;
+    auto it = std::lower_bound(
+        local_ft.begin(), local_ft.end(), p,
+        [](const std::pair<ProcId, Time>& e, ProcId q) { return e.first < q; });
+    if (it != local_ft.end() && it->first == p)
+      ready = std::max(ready, it->second);
+    return ready;
+  }
+};
+
+/// Build the arrival summary for `n` from the placed parents in `s`.
+ArrivalInfo compute_arrival(const Schedule& s, NodeId n);
+
+/// Scan processors [0, scanner.scan_count()) and return the one minimizing
+/// the earliest start time of `n` (ties: smaller processor id).
+struct ProcChoice {
+  ProcId proc;
+  Time start;
+};
+ProcChoice best_est_proc(const Schedule& s, NodeId n, const ProcScanner& scanner,
+                         bool insertion);
+
+}  // namespace tgs

@@ -1,0 +1,55 @@
+#include "tgs/bnp/dls.h"
+
+#include <unordered_map>
+
+#include "tgs/bnp/bnp_common.h"
+#include "tgs/graph/attributes.h"
+#include "tgs/list/ready_list.h"
+
+namespace tgs {
+
+Schedule DlsScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
+  const std::vector<Time> sl = static_levels(g);
+  Schedule sched(g, effective_procs(g, opt));
+  ProcScanner scanner(effective_procs(g, opt));
+  ReadyList ready(g);
+  std::unordered_map<NodeId, ArrivalInfo> arrivals;
+
+  while (!ready.empty()) {
+    NodeId best_n = kNoNode;
+    ProcId best_p = 0;
+    Time best_start = 0;
+    Time best_dl = 0;
+    const int nprocs = scanner.scan_count();
+    for (NodeId m : ready.ready()) {
+      auto it = arrivals.find(m);
+      if (it == arrivals.end())
+        it = arrivals.emplace(m, compute_arrival(sched, m)).first;
+      const ArrivalInfo& arr = it->second;
+      for (ProcId p = 0; p < nprocs; ++p) {
+        const Time est = sched.earliest_start_on(p, arr.ready_on(p), g.weight(m),
+                                                 /*insertion=*/false);
+        const Time dl = sl[m] - est;
+        // Maximize DL; ties -> earlier start, then smaller node/proc id.
+        const bool better =
+            best_n == kNoNode || dl > best_dl ||
+            (dl == best_dl &&
+             (est < best_start ||
+              (est == best_start && (m < best_n || (m == best_n && p < best_p)))));
+        if (better) {
+          best_n = m;
+          best_p = p;
+          best_start = est;
+          best_dl = dl;
+        }
+      }
+    }
+    sched.place(best_n, best_p, best_start);
+    scanner.note_placement(best_p);
+    ready.mark_scheduled(best_n);
+    arrivals.erase(best_n);
+  }
+  return sched;
+}
+
+}  // namespace tgs

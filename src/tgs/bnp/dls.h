@@ -1,0 +1,28 @@
+// DLS -- Dynamic Level Scheduling (Sih & Lee, 1993; paper ref [31]).
+//
+// Classification: BNP, dynamic list, non-CP-based, greedy(non-start-time-
+// minimizing variant), non-insertion. The dynamic level of a (ready node,
+// processor) pair is
+//     DL(n, p) = SL(n) - EST(n, p)
+// where SL is the static level; the pair with the LARGEST dynamic level is
+// scheduled next. Unlike ETF, a node with high static level can win even
+// when its start time is not globally earliest. The exhaustive pair search
+// makes DLS one of the slower BNP algorithms (the paper's Table 6 agrees).
+// Complexity O(p v^2) with the O(1) arrival cache.
+//
+// The APN variant, which routes messages on a contended network, lives in
+// apn/dls_apn.h; the paper counts DLS in both classes.
+#pragma once
+
+#include "tgs/sched/scheduler.h"
+
+namespace tgs {
+
+class DlsScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "DLS"; }
+  AlgoClass algo_class() const override { return AlgoClass::kBNP; }
+  Schedule run(const TaskGraph& g, const SchedOptions& opt) const override;
+};
+
+}  // namespace tgs

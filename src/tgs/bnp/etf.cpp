@@ -1,0 +1,53 @@
+#include "tgs/bnp/etf.h"
+
+#include <unordered_map>
+
+#include "tgs/bnp/bnp_common.h"
+#include "tgs/graph/attributes.h"
+#include "tgs/list/ready_list.h"
+
+namespace tgs {
+
+Schedule EtfScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
+  const std::vector<Time> sl = static_levels(g);
+  Schedule sched(g, effective_procs(g, opt));
+  ProcScanner scanner(effective_procs(g, opt));
+  ReadyList ready(g);
+
+  // Arrival summaries are fixed once a node becomes ready (its parents are
+  // placed and never move); cache them across steps.
+  std::unordered_map<NodeId, ArrivalInfo> arrivals;
+
+  while (!ready.empty()) {
+    NodeId best_n = kNoNode;
+    ProcId best_p = 0;
+    Time best_t = kTimeInf;
+    const int nprocs = scanner.scan_count();
+    for (NodeId m : ready.ready()) {
+      auto it = arrivals.find(m);
+      if (it == arrivals.end())
+        it = arrivals.emplace(m, compute_arrival(sched, m)).first;
+      const ArrivalInfo& arr = it->second;
+      for (ProcId p = 0; p < nprocs; ++p) {
+        const Time t = sched.earliest_start_on(p, arr.ready_on(p), g.weight(m),
+                                               /*insertion=*/false);
+        const bool better =
+            t < best_t ||
+            (t == best_t && best_n != kNoNode &&
+             (sl[m] > sl[best_n] || (sl[m] == sl[best_n] && m < best_n)));
+        if (best_n == kNoNode || better) {
+          best_n = m;
+          best_p = p;
+          best_t = t;
+        }
+      }
+    }
+    sched.place(best_n, best_p, best_t);
+    scanner.note_placement(best_p);
+    ready.mark_scheduled(best_n);
+    arrivals.erase(best_n);
+  }
+  return sched;
+}
+
+}  // namespace tgs

@@ -1,0 +1,23 @@
+// ETF -- Earliest Time First (Hwang, Chow, Anger & Lee, 1989; paper ref
+// [17]).
+//
+// Classification: BNP, dynamic list, non-CP-based, greedy, non-insertion.
+// At every scheduling step the earliest start time is computed for EVERY
+// (ready node, processor) pair and the globally earliest pair is chosen;
+// ties are resolved in favour of the node with the higher static level.
+// The exhaustive pair search is why the paper measures ETF among the
+// slowest BNP algorithms (complexity O(p v^2)).
+#pragma once
+
+#include "tgs/sched/scheduler.h"
+
+namespace tgs {
+
+class EtfScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "ETF"; }
+  AlgoClass algo_class() const override { return AlgoClass::kBNP; }
+  Schedule run(const TaskGraph& g, const SchedOptions& opt) const override;
+};
+
+}  // namespace tgs

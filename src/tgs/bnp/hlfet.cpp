@@ -1,0 +1,26 @@
+#include "tgs/bnp/hlfet.h"
+
+#include "tgs/bnp/bnp_common.h"
+#include "tgs/graph/attributes.h"
+#include "tgs/list/priorities.h"
+#include "tgs/list/ready_list.h"
+
+namespace tgs {
+
+Schedule HlfetScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
+  const std::vector<Time> sl = static_levels(g);
+  Schedule sched(g, effective_procs(g, opt));
+  ProcScanner scanner(effective_procs(g, opt));
+  ReadyList ready(g);
+
+  while (!ready.empty()) {
+    const NodeId n = argmax_priority(ready.ready(), sl);
+    const ProcChoice choice = best_est_proc(sched, n, scanner, /*insertion=*/false);
+    sched.place(n, choice.proc, choice.start);
+    scanner.note_placement(choice.proc);
+    ready.mark_scheduled(n);
+  }
+  return sched;
+}
+
+}  // namespace tgs

@@ -1,0 +1,22 @@
+// HLFET -- Highest Level First with Estimated Times (Adam, Chandy & Dickson,
+// 1974; paper ref [11]).
+//
+// Classification (paper Fig. 1 / §3): BNP, static list, non-CP-based,
+// greedy, non-insertion. Priority = static level (b-level with edge costs
+// ignored). At each step the ready node with the highest static level is
+// scheduled on the processor that allows the earliest start time, appending
+// after the processor's last task. Complexity O(v^2).
+#pragma once
+
+#include "tgs/sched/scheduler.h"
+
+namespace tgs {
+
+class HlfetScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "HLFET"; }
+  AlgoClass algo_class() const override { return AlgoClass::kBNP; }
+  Schedule run(const TaskGraph& g, const SchedOptions& opt) const override;
+};
+
+}  // namespace tgs

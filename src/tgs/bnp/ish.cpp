@@ -1,0 +1,61 @@
+#include "tgs/bnp/ish.h"
+
+#include <algorithm>
+
+#include "tgs/bnp/bnp_common.h"
+#include "tgs/graph/attributes.h"
+#include "tgs/list/priorities.h"
+#include "tgs/list/ready_list.h"
+
+namespace tgs {
+
+Schedule IshScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
+  const std::vector<Time> sl = static_levels(g);
+  Schedule sched(g, effective_procs(g, opt));
+  ProcScanner scanner(effective_procs(g, opt));
+  ReadyList ready(g);
+
+  while (!ready.empty()) {
+    const NodeId n = argmax_priority(ready.ready(), sl);
+    // Earliest-start processor, append placement (holes are exploited by
+    // the explicit filling pass below, as in the original formulation).
+    const ProcChoice choice = best_est_proc(sched, n, scanner, /*insertion=*/false);
+    // End of the processor's current busy prefix == where the idle hole
+    // (if any) begins once n is appended at choice.start.
+    const Time hole_start = sched.earliest_start_on(choice.proc, 0, 0, false);
+    sched.place(n, choice.proc, choice.start);
+    scanner.note_placement(choice.proc);
+    ready.mark_scheduled(n);
+
+    // Hole: [hole_start, choice.start) on choice.proc -- idle time created
+    // because n had to wait for data. Fill it greedily with the
+    // highest-static-level ready nodes that (a) fit entirely inside and
+    // (b) would not have started earlier on any other processor -- filling
+    // must exploit the hole, not misplace a task that had a better home.
+    Time gap_from = hole_start;
+    const Time gap_to = choice.start;
+    while (gap_from < gap_to && !ready.empty()) {
+      NodeId best_fill = kNoNode;
+      Time best_start = 0;
+      for (NodeId m : ready.ready()) {
+        const Time dr = sched.data_ready(m, choice.proc);
+        const Time st = std::max(dr, gap_from);
+        if (st + g.weight(m) > gap_to) continue;
+        const ProcChoice alt = best_est_proc(sched, m, scanner, false);
+        if (alt.start < st) continue;  // the hole is not this task's best slot
+        if (best_fill == kNoNode || sl[m] > sl[best_fill] ||
+            (sl[m] == sl[best_fill] && m < best_fill)) {
+          best_fill = m;
+          best_start = st;
+        }
+      }
+      if (best_fill == kNoNode) break;
+      sched.place(best_fill, choice.proc, best_start);
+      ready.mark_scheduled(best_fill);
+      gap_from = best_start + g.weight(best_fill);
+    }
+  }
+  return sched;
+}
+
+}  // namespace tgs

@@ -1,0 +1,24 @@
+// ISH -- Insertion Scheduling Heuristic (Kruatrachue & Lewis, 1987; paper
+// ref [21]).
+//
+// Classification: BNP, static list, non-CP-based, greedy, WITH insertion in
+// the form of "hole filling": HLFET-style scheduling (static-level
+// priority, earliest-start processor), but whenever placing the selected
+// node leaves an idle hole on the chosen processor (the node must wait for
+// a message), the hole is filled with other ready nodes that fit without
+// delaying the node. The paper singles ISH out as evidence that "insertion
+// is better than non-insertion". Complexity O(v^2).
+#pragma once
+
+#include "tgs/sched/scheduler.h"
+
+namespace tgs {
+
+class IshScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "ISH"; }
+  AlgoClass algo_class() const override { return AlgoClass::kBNP; }
+  Schedule run(const TaskGraph& g, const SchedOptions& opt) const override;
+};
+
+}  // namespace tgs

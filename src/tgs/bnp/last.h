@@ -1,0 +1,28 @@
+// LAST -- Localized Allocation of Static Tasks (Baxter & Patel, 1989; paper
+// ref [7]).
+//
+// Classification: BNP, dynamic list, non-CP-based, non-greedy (it minimizes
+// communication, not start time), non-insertion. Node priority is D_NODE:
+// the fraction of a node's incident edge weight that connects to
+// already-scheduled neighbours,
+//     D_NODE(n) = sum_{(m,n) or (n,m), m scheduled} c / sum_{all incident} c,
+// so the algorithm grows the schedule outward from the already-placed
+// region, trying to localize heavy edges onto one processor. Ties fall back
+// to static level. The chosen node goes to the processor minimizing its
+// start time. The paper finds LAST the weakest BNP algorithm -- its
+// communication-centric priority ignores the critical path entirely -- and
+// we reproduce that behaviour.
+#pragma once
+
+#include "tgs/sched/scheduler.h"
+
+namespace tgs {
+
+class LastScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "LAST"; }
+  AlgoClass algo_class() const override { return AlgoClass::kBNP; }
+  Schedule run(const TaskGraph& g, const SchedOptions& opt) const override;
+};
+
+}  // namespace tgs

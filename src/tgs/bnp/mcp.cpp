@@ -1,0 +1,39 @@
+#include "tgs/bnp/mcp.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tgs/bnp/bnp_common.h"
+#include "tgs/graph/attributes.h"
+
+namespace tgs {
+
+Schedule McpScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
+  const std::vector<Time> alap = alap_times(g);
+
+  // Priority list per node: [alap(n), sorted alaps of children...].
+  std::vector<std::vector<Time>> prio(g.num_nodes());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    prio[n].push_back(alap[n]);
+    for (const Adj& c : g.children(n)) prio[n].push_back(alap[c.node]);
+    std::sort(prio[n].begin() + 1, prio[n].end());
+  }
+
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (prio[a] != prio[b]) return prio[a] < prio[b];
+    return a < b;
+  });
+
+  Schedule sched(g, effective_procs(g, opt));
+  ProcScanner scanner(effective_procs(g, opt));
+  for (NodeId n : order) {
+    const ProcChoice choice = best_est_proc(sched, n, scanner, /*insertion=*/true);
+    sched.place(n, choice.proc, choice.start);
+    scanner.note_placement(choice.proc);
+  }
+  return sched;
+}
+
+}  // namespace tgs

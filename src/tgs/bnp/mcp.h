@@ -1,0 +1,30 @@
+// MCP -- Modified Critical Path (Wu & Gajski, 1990; paper ref [32]).
+//
+// Classification: BNP, static list, CP-based, greedy, insertion. Each node
+// gets a priority list consisting of its own ALAP time followed by the ALAP
+// times of its children in increasing order; nodes are scheduled in
+// increasing lexicographic order of these lists (so critical-path nodes,
+// whose ALAP is smallest, go first). Each node is placed on the processor
+// that allows the earliest start time using insertion into idle slots.
+// The paper finds MCP the best BNP algorithm overall (and the fastest).
+// Complexity O(v^2 log v).
+//
+// Fidelity note: the literature varies between "children's ALAPs" and
+// "descendants' ALAPs" for the tail of the priority list; we follow the
+// children formulation of Kwok & Ahmad's survey. Because
+// ALAP(parent) < ALAP(child) always holds, the resulting order is
+// automatically topologically consistent.
+#pragma once
+
+#include "tgs/sched/scheduler.h"
+
+namespace tgs {
+
+class McpScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "MCP"; }
+  AlgoClass algo_class() const override { return AlgoClass::kBNP; }
+  Schedule run(const TaskGraph& g, const SchedOptions& opt) const override;
+};
+
+}  // namespace tgs

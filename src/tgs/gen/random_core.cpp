@@ -1,0 +1,47 @@
+#include "tgs/gen/random_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace tgs {
+
+Cost draw_comm_cost(Rng& rng, Cost mean_weight, double ccr) {
+  const Cost mean = std::max<Cost>(
+      1, static_cast<Cost>(std::llround(static_cast<double>(mean_weight) * ccr)));
+  return rng.uniform_mean(mean, 1);
+}
+
+Cost draw_comp_cost(Rng& rng, Cost mean_weight) {
+  return rng.uniform_mean(mean_weight, 2);
+}
+
+TaskGraph random_fanout_dag(const RandomDagParams& params) {
+  Rng rng(params.seed);
+  const NodeId v = params.num_nodes;
+  TaskGraphBuilder b(params.name);
+  for (NodeId i = 0; i < v; ++i) b.add_node(draw_comp_cost(rng, params.mean_weight));
+
+  const Cost fan_mean = std::max<Cost>(
+      1, static_cast<Cost>(std::llround(v / params.fanout_divisor)));
+
+  std::vector<NodeId> pool;
+  for (NodeId u = 0; u + 1 < v; ++u) {
+    const NodeId later = v - 1 - u;
+    NodeId k = static_cast<NodeId>(
+        std::min<Cost>(rng.uniform_mean(fan_mean, 0), later));
+    if (k == 0) continue;
+    // Partial Fisher-Yates over the pool of later nodes.
+    pool.resize(later);
+    for (NodeId i = 0; i < later; ++i) pool[i] = u + 1 + i;
+    for (NodeId i = 0; i < k; ++i) {
+      const NodeId j =
+          i + static_cast<NodeId>(rng.uniform_int(0, later - 1 - i));
+      std::swap(pool[i], pool[j]);
+      b.add_edge(u, pool[i], draw_comm_cost(rng, params.mean_weight, params.ccr));
+    }
+  }
+  return b.finalize();
+}
+
+}  // namespace tgs

@@ -1,0 +1,36 @@
+// Shared machinery of the random benchmark-graph generators (paper §5).
+//
+// The paper's recipe (RGBOS, §5.2, reused by RGNOS): node weights uniform
+// with mean 40 (range [2, 78]); walking nodes in index order, each node
+// draws a child count uniform with mean v/10 and connects to that many
+// later nodes; edge weights uniform with mean 40 * CCR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tgs/graph/task_graph.h"
+#include "tgs/util/rng.h"
+
+namespace tgs {
+
+struct RandomDagParams {
+  NodeId num_nodes = 50;
+  Cost mean_weight = 40;      // node weight mean; range [2, 2*mean - 2]
+  double ccr = 1.0;           // edge-weight mean = mean_weight * ccr
+  double fanout_divisor = 10; // child-count mean = num_nodes / fanout_divisor
+  std::uint64_t seed = 1;
+  std::string name = "random";
+};
+
+/// The paper's forward-fan-out random DAG.
+TaskGraph random_fanout_dag(const RandomDagParams& params);
+
+/// Edge-weight draw used across generators: uniform integer with the given
+/// mean (mean = mean_weight * ccr, at least 1), symmetric range, floor 1.
+Cost draw_comm_cost(Rng& rng, Cost mean_weight, double ccr);
+
+/// Node-weight draw: uniform mean `mean_weight`, floor 2 (paper: min 2).
+Cost draw_comp_cost(Rng& rng, Cost mean_weight);
+
+}  // namespace tgs

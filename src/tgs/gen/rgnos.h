@@ -1,0 +1,40 @@
+// RGNOS -- Random Graphs with No known Optimal Solutions (paper §5.4).
+//
+// 250 graphs spanning three parameters:
+//   size        v = 50..500 step 50,
+//   CCR         {0.1, 0.5, 1.0, 2.0, 10.0},
+//   parallelism {1..5}: the average WIDTH of the DAG is
+//               parallelism * sqrt(v).
+// Weights follow the RGBOS recipe. The generator is layered: nodes are
+// grouped into layers whose sizes are drawn around the target width; every
+// non-entry layer node gets one parent in the previous layer (giving the
+// DAG its depth) and additional forward edges bring the fan-out to the
+// target mean of v/10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tgs/graph/task_graph.h"
+
+namespace tgs {
+
+struct RgnosParams {
+  NodeId num_nodes = 50;
+  double ccr = 1.0;
+  int parallelism = 3;  // width multiplier on sqrt(v)
+  Cost mean_weight = 40;
+  double fanout_divisor = 10;
+  std::uint64_t seed = 1;
+};
+
+TaskGraph rgnos_graph(const RgnosParams& params);
+
+inline constexpr double kRgnosCcrs[] = {0.1, 0.5, 1.0, 2.0, 10.0};
+inline constexpr int kRgnosParallelisms[] = {1, 2, 3, 4, 5};
+
+/// All 25 (ccr, parallelism) combinations for one size. The paper's full
+/// suite is this for each v in 50..500 step 50.
+std::vector<TaskGraph> rgnos_size_suite(NodeId num_nodes, std::uint64_t seed);
+
+}  // namespace tgs

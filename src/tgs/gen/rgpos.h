@@ -1,0 +1,60 @@
+// RGPOS -- Random Graphs with Pre-determined Optimal Schedules (paper
+// §5.3).
+//
+// Construction (exactly the paper's): fix an optimal length L_opt and a
+// processor count p; partition each processor's [0, L_opt] interval into
+// randomly many task segments with NO idle time, so total work = p * L_opt
+// and the planted schedule is optimal for p processors (any schedule is at
+// least ceil(work / p) long). Edges are drawn between tasks with
+// FT(a) <= ST(b); a cross-processor edge's weight never exceeds the slack
+// ST(b) - FT(a) (so the planted schedule stays feasible), a same-processor
+// edge's weight is unconstrained and drawn per CCR.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tgs/graph/task_graph.h"
+#include "tgs/util/types.h"
+
+namespace tgs {
+
+struct RgposGraph {
+  TaskGraph graph;
+  Time optimal_length = 0;
+  int num_procs = 0;
+  /// The planted schedule (proof of achievability).
+  std::vector<ProcId> planted_proc;
+  std::vector<Time> planted_start;
+};
+
+struct RgposParams {
+  NodeId num_nodes = 100;
+  int num_procs = 4;
+  double ccr = 1.0;
+  Cost mean_weight = 40;      // mean task segment length
+  double fanout_divisor = 10; // edge budget ~ v^2 / (2 * divisor)
+  std::uint64_t seed = 1;
+  /// When true, time-consecutive tasks on each planted processor are
+  /// chained with extra same-processor edges. The DAG then has a chain
+  /// cover of size p, so (Dilworth) its width is <= p and L_opt = W/p is a
+  /// lower bound for ANY schedule, even on more than p processors -- the
+  /// property needed when unbounded (UNC) algorithms are measured against
+  /// the plant. The chains also make the plant reconstructable by greedy
+  /// list scheduling (zero-slack pairs force co-location), so bounded
+  /// algorithms should be evaluated with width_guard = false, the paper's
+  /// original construction, where W/p already bounds any p-processor
+  /// schedule.
+  bool width_guard = false;
+};
+
+RgposGraph rgpos_graph(const RgposParams& params);
+
+/// The paper's sweep for one CCR: v = 50..500 step 50 (10 graphs).
+std::vector<RgposGraph> rgpos_suite(double ccr, int num_procs,
+                                    std::uint64_t seed,
+                                    bool width_guard = false);
+
+inline constexpr double kRgposCcrs[] = {0.1, 1.0, 10.0};
+
+}  // namespace tgs

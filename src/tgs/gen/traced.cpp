@@ -1,0 +1,133 @@
+#include "tgs/gen/traced.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tgs {
+
+namespace {
+Cost comm(double scale, long long volume) {
+  const long long c = std::llround(scale * static_cast<double>(volume));
+  return std::max<Cost>(1, c);
+}
+}  // namespace
+
+TaskGraph cholesky_graph(int n, double comm_scale) {
+  if (n < 1) throw std::invalid_argument("cholesky: n >= 1");
+  TaskGraphBuilder b("cholesky" + std::to_string(n));
+
+  // ids: cdiv[k] for k = 1..n ; cmod[j][k] for 1 <= k < j <= n.
+  std::vector<NodeId> cdiv(n + 1);
+  std::vector<std::vector<NodeId>> cmod(n + 1, std::vector<NodeId>(n + 1, 0));
+  for (int k = 1; k <= n; ++k) {
+    // cdiv(k): sqrt + scale of the n-k subdiagonal entries.
+    cdiv[k] = b.add_node(2 * (n - k) + 2,
+                         "cdiv(" + std::to_string(k) + ")");
+    for (int j = k + 1; j <= n; ++j)
+      // cmod(j,k): rank-1 update of column j, ~2(n-j+1) flops.
+      cmod[j][k] = b.add_node(2 * (n - j) + 2,
+                              "cmod(" + std::to_string(j) + "," +
+                                  std::to_string(k) + ")");
+  }
+  for (int k = 1; k <= n; ++k) {
+    for (int j = k + 1; j <= n; ++j) {
+      // Column k (n-k entries) broadcast to the update of column j.
+      b.add_edge(cdiv[k], cmod[j][k], comm(comm_scale, n - k));
+      if (j > k + 1)
+        b.add_edge(cmod[j][k], cmod[j][k + 1], comm(comm_scale, n - j + 1));
+    }
+    if (k + 1 <= n)
+      b.add_edge(cmod[k + 1][k], cdiv[k + 1], comm(comm_scale, n - k));
+  }
+  return b.finalize();
+}
+
+TaskGraph gaussian_elimination_graph(int n, double comm_scale) {
+  if (n < 1) throw std::invalid_argument("gauss: n >= 1");
+  TaskGraphBuilder b("gauss" + std::to_string(n));
+  std::vector<NodeId> piv(n + 1);
+  std::vector<std::vector<NodeId>> upd(n + 1, std::vector<NodeId>(n + 1, 0));
+  for (int k = 1; k < n; ++k) {
+    piv[k] = b.add_node(n - k + 1, "piv(" + std::to_string(k) + ")");
+    for (int i = k + 1; i <= n; ++i)
+      upd[i][k] = b.add_node(2 * (n - k) + 1,
+                             "upd(" + std::to_string(i) + "," +
+                                 std::to_string(k) + ")");
+  }
+  for (int k = 1; k < n; ++k) {
+    for (int i = k + 1; i <= n; ++i) {
+      b.add_edge(piv[k], upd[i][k], comm(comm_scale, n - k));
+      if (i > k + 1 && k + 1 < n)
+        b.add_edge(upd[i][k], upd[i][k + 1], comm(comm_scale, n - k));
+    }
+    if (k + 1 < n) b.add_edge(upd[k + 1][k], piv[k + 1], comm(comm_scale, n - k));
+  }
+  return b.finalize();
+}
+
+TaskGraph fft_graph(int n, double comm_scale) {
+  if (n < 2 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("fft: n must be a power of two >= 2");
+  const int ranks = static_cast<int>(std::lround(std::log2(n)));
+  TaskGraphBuilder b("fft" + std::to_string(n));
+
+  // One butterfly task per (rank, pair); rank r pairs indices differing in
+  // bit r of the element index.
+  const int per_rank = n / 2;
+  std::vector<std::vector<NodeId>> task(ranks, std::vector<NodeId>(per_rank));
+  for (int r = 0; r < ranks; ++r)
+    for (int p = 0; p < per_rank; ++p)
+      task[r][p] = b.add_node(10, "bf(" + std::to_string(r) + "," +
+                                      std::to_string(p) + ")");
+
+  auto pair_index = [](int element, int rank) {
+    // Pair id of `element` at `rank`: drop bit `rank` of the index.
+    const int high = (element >> (rank + 1)) << rank;
+    const int low = element & ((1 << rank) - 1);
+    return high | low;
+  };
+  for (int r = 0; r + 1 < ranks; ++r) {
+    for (int p = 0; p < per_rank; ++p) {
+      // Outputs of butterfly (r, p) are elements e0, e1; each feeds the
+      // butterfly that consumes it at rank r+1.
+      const int low = p & ((1 << r) - 1);
+      const int high = (p >> r) << (r + 1);
+      const int e0 = high | low;
+      const int e1 = e0 | (1 << r);
+      b.add_edge(task[r][p], task[r + 1][pair_index(e0, r + 1)],
+                 comm(comm_scale, 2));
+      if (pair_index(e1, r + 1) != pair_index(e0, r + 1))
+        b.add_edge(task[r][p], task[r + 1][pair_index(e1, r + 1)],
+                   comm(comm_scale, 2));
+    }
+  }
+  return b.finalize();
+}
+
+TaskGraph laplace_graph(int side, int iters, double comm_scale) {
+  if (side < 1 || iters < 1) throw std::invalid_argument("laplace: bad dims");
+  TaskGraphBuilder b("laplace" + std::to_string(side) + "x" +
+                     std::to_string(iters));
+  auto id = [&](int t, int i, int j) {
+    return static_cast<NodeId>((static_cast<long long>(t) * side + i) * side + j);
+  };
+  for (int t = 0; t < iters; ++t)
+    for (int i = 0; i < side; ++i)
+      for (int j = 0; j < side; ++j) b.add_node(5);
+  for (int t = 0; t + 1 < iters; ++t)
+    for (int i = 0; i < side; ++i)
+      for (int j = 0; j < side; ++j) {
+        b.add_edge(id(t, i, j), id(t + 1, i, j), comm(comm_scale, 1));
+        if (i > 0) b.add_edge(id(t, i, j), id(t + 1, i - 1, j), comm(comm_scale, 1));
+        if (i + 1 < side)
+          b.add_edge(id(t, i, j), id(t + 1, i + 1, j), comm(comm_scale, 1));
+        if (j > 0) b.add_edge(id(t, i, j), id(t + 1, i, j - 1), comm(comm_scale, 1));
+        if (j + 1 < side)
+          b.add_edge(id(t, i, j), id(t + 1, i, j + 1), comm(comm_scale, 1));
+      }
+  return b.finalize();
+}
+
+}  // namespace tgs

@@ -1,0 +1,135 @@
+#include "tgs/graph/attributes.h"
+
+#include <algorithm>
+
+namespace tgs {
+
+std::vector<Time> t_levels(const TaskGraph& g) {
+  std::vector<Time> t(g.num_nodes(), 0);
+  for (NodeId u : g.topological_order()) {
+    Time best = 0;
+    for (const Adj& p : g.parents(u))
+      best = std::max(best, t[p.node] + g.weight(p.node) + p.cost);
+    t[u] = best;
+  }
+  return t;
+}
+
+std::vector<Time> b_levels(const TaskGraph& g) {
+  std::vector<Time> b(g.num_nodes(), 0);
+  const auto& topo = g.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId u = *it;
+    Time best = 0;
+    for (const Adj& c : g.children(u))
+      best = std::max(best, c.cost + b[c.node]);
+    b[u] = g.weight(u) + best;
+  }
+  return b;
+}
+
+std::vector<Time> static_levels(const TaskGraph& g) {
+  std::vector<Time> b(g.num_nodes(), 0);
+  const auto& topo = g.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId u = *it;
+    Time best = 0;
+    for (const Adj& c : g.children(u)) best = std::max(best, b[c.node]);
+    b[u] = g.weight(u) + best;
+  }
+  return b;
+}
+
+std::vector<Time> comp_t_levels(const TaskGraph& g) {
+  std::vector<Time> t(g.num_nodes(), 0);
+  for (NodeId u : g.topological_order()) {
+    Time best = 0;
+    for (const Adj& p : g.parents(u))
+      best = std::max(best, t[p.node] + g.weight(p.node));
+    t[u] = best;
+  }
+  return t;
+}
+
+Time critical_path_length(const TaskGraph& g) {
+  const auto b = b_levels(g);
+  Time best = 0;
+  for (NodeId e : g.entry_nodes()) best = std::max(best, b[e]);
+  return best;
+}
+
+std::vector<Time> alap_times(const TaskGraph& g) {
+  const auto b = b_levels(g);
+  Time cp = 0;
+  for (NodeId e : g.entry_nodes()) cp = std::max(cp, b[e]);
+  std::vector<Time> alap(g.num_nodes());
+  for (NodeId i = 0; i < g.num_nodes(); ++i) alap[i] = cp - b[i];
+  return alap;
+}
+
+std::vector<NodeId> critical_path(const TaskGraph& g) {
+  if (g.num_nodes() == 0) return {};
+  const auto b = b_levels(g);
+  // Start: entry with max b-level (min id on ties).
+  NodeId cur = kNoNode;
+  Time best = -1;
+  for (NodeId e : g.entry_nodes()) {
+    if (b[e] > best) {
+      best = b[e];
+      cur = e;
+    }
+  }
+  std::vector<NodeId> path;
+  path.push_back(cur);
+  // Walk: child c with b[cur] == w(cur) + c.cost + b[c].
+  while (g.num_children(cur) > 0) {
+    NodeId next = kNoNode;
+    for (const Adj& c : g.children(cur)) {
+      if (b[cur] == g.weight(cur) + c.cost + b[c.node]) {
+        next = c.node;
+        break;  // children sorted by id => deterministic smallest id
+      }
+    }
+    if (next == kNoNode) break;  // cur is effectively an exit on this path
+    path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+Cost path_computation_cost(const TaskGraph& g,
+                           const std::vector<NodeId>& path) {
+  Cost sum = 0;
+  for (NodeId n : path) sum += g.weight(n);
+  return sum;
+}
+
+Time computation_critical_path_length(const TaskGraph& g) {
+  std::vector<Time> down(g.num_nodes(), 0);
+  const auto& topo = g.topological_order();
+  Time best = 0;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId u = *it;
+    Time kid = 0;
+    for (const Adj& c : g.children(u)) kid = std::max(kid, down[c.node]);
+    down[u] = g.weight(u) + kid;
+    best = std::max(best, down[u]);
+  }
+  return best;
+}
+
+std::size_t layered_width(const TaskGraph& g) {
+  // Layer index = longest hop-count path from an entry.
+  std::vector<std::size_t> depth(g.num_nodes(), 0);
+  std::size_t max_depth = 0;
+  for (NodeId u : g.topological_order()) {
+    for (const Adj& p : g.parents(u))
+      depth[u] = std::max(depth[u], depth[p.node] + 1);
+    max_depth = std::max(max_depth, depth[u]);
+  }
+  std::vector<std::size_t> count(max_depth + 1, 0);
+  for (NodeId i = 0; i < g.num_nodes(); ++i) ++count[depth[i]];
+  return count.empty() ? 0 : *std::max_element(count.begin(), count.end());
+}
+
+}  // namespace tgs

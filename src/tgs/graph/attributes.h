@@ -1,0 +1,60 @@
+// Node attributes used by scheduling heuristics (paper §3):
+//
+//   t-level(n)  longest entry->n path length, EXCLUDING w(n); equals the
+//               earliest possible start time of n when communication is
+//               never zeroed.
+//   b-level(n)  longest n->exit path length, INCLUDING w(n).
+//   static level (SL) b-level computed with all edge costs treated as zero.
+//   ALAP(n)     CP_length - b-level(n): latest start not stretching the CP.
+//   CP          a critical path: entry->exit path of maximum total
+//               (node + edge) weight.
+//
+// All functions run in O(V + E) over the fixed topological order and break
+// ties deterministically (smallest node id).
+#pragma once
+
+#include <vector>
+
+#include "tgs/graph/task_graph.h"
+#include "tgs/util/types.h"
+
+namespace tgs {
+
+/// t-level of every node (comm-inclusive longest path from an entry).
+std::vector<Time> t_levels(const TaskGraph& g);
+
+/// b-level of every node (comm-inclusive longest path to an exit).
+std::vector<Time> b_levels(const TaskGraph& g);
+
+/// Static level: longest path to an exit counting node weights only.
+std::vector<Time> static_levels(const TaskGraph& g);
+
+/// t-level counting node weights only (comm-free earliest start).
+std::vector<Time> comp_t_levels(const TaskGraph& g);
+
+/// Length of the critical path: max over nodes of t_level + w (equivalently
+/// max b-level over entry nodes).
+Time critical_path_length(const TaskGraph& g);
+
+/// ALAP start times: critical_path_length - b_level.
+std::vector<Time> alap_times(const TaskGraph& g);
+
+/// One critical path as a node sequence from an entry to an exit. Ties are
+/// broken toward smaller node ids, so the result is deterministic.
+std::vector<NodeId> critical_path(const TaskGraph& g);
+
+/// Sum of computation costs along `path` (the NSL denominator, paper §6).
+Cost path_computation_cost(const TaskGraph& g, const std::vector<NodeId>& path);
+
+/// Comm-free critical path length: max over paths of node-weight sums. This
+/// is a valid lower bound on any schedule length (chains execute serially
+/// even when co-located).
+Time computation_critical_path_length(const TaskGraph& g);
+
+/// Width of the DAG: the largest antichain size, approximated as the largest
+/// number of nodes sharing the same comp-t-level "layer" when layered by
+/// longest comp path depth (exact for layered generators; used for RGNOS
+/// parallelism checks).
+std::size_t layered_width(const TaskGraph& g);
+
+}  // namespace tgs

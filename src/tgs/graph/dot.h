@@ -1,0 +1,17 @@
+// Graphviz DOT export for task graphs and schedules (debug / paper-figure
+// style visualization).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tgs/graph/task_graph.h"
+
+namespace tgs {
+
+/// DOT digraph with "label (weight)" nodes and edge-cost labels. Nodes in
+/// `highlight` (e.g., a critical path) are drawn filled.
+std::string to_dot(const TaskGraph& g,
+                   const std::vector<NodeId>& highlight = {});
+
+}  // namespace tgs

@@ -1,0 +1,94 @@
+#include "tgs/graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tgs {
+
+void write_graph(std::ostream& os, const TaskGraph& g) {
+  os << "tgs1 " << (g.name().empty() ? "graph" : g.name()) << ' '
+     << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    os << "node " << i << ' ' << g.weight(i);
+    if (g.has_labels()) os << ' ' << g.label(i);
+    os << '\n';
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (const Adj& c : g.children(u))
+      os << "edge " << u << ' ' << c.node << ' ' << c.cost << '\n';
+}
+
+std::string graph_to_string(const TaskGraph& g) {
+  std::ostringstream os;
+  write_graph(os, g);
+  return os.str();
+}
+
+TaskGraph read_graph(std::istream& is) {
+  std::string line;
+  std::string magic, name;
+  NodeId n = 0;
+  std::size_t m = 0;
+  // Header (skipping comments/blank lines).
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream hs(line);
+    if (!(hs >> magic >> name >> n >> m) || magic != "tgs1")
+      throw std::invalid_argument("bad tgs1 header: " + line);
+    break;
+  }
+  if (magic != "tgs1") throw std::invalid_argument("missing tgs1 header");
+
+  TaskGraphBuilder b(name);
+  NodeId nodes_seen = 0;
+  std::size_t edges_seen = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "node") {
+      NodeId id;
+      Cost w;
+      std::string label;
+      if (!(ls >> id >> w)) throw std::invalid_argument("bad node line: " + line);
+      ls >> label;  // optional
+      if (id != nodes_seen)
+        throw std::invalid_argument("node ids must be dense and in order");
+      b.add_node(w, label);
+      ++nodes_seen;
+    } else if (kind == "edge") {
+      NodeId u, v;
+      Cost c;
+      if (!(ls >> u >> v >> c)) throw std::invalid_argument("bad edge line: " + line);
+      b.add_edge(u, v, c);
+      ++edges_seen;
+    } else {
+      throw std::invalid_argument("unknown record: " + line);
+    }
+    if (nodes_seen == n && edges_seen == m) break;
+  }
+  if (nodes_seen != n || edges_seen != m)
+    throw std::invalid_argument("truncated tgs1 stream");
+  return b.finalize();
+}
+
+TaskGraph graph_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_graph(is);
+}
+
+void save_graph(const std::string& path, const TaskGraph& g) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for write: " + path);
+  write_graph(f, g);
+}
+
+TaskGraph load_graph(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  return read_graph(f);
+}
+
+}  // namespace tgs

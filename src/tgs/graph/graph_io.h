@@ -1,0 +1,30 @@
+// Plain-text serialization of task graphs.
+//
+// Format ("tgs1"):
+//   tgs1 <name> <num_nodes> <num_edges>
+//   node <id> <weight> [label]
+//   edge <u> <v> <cost>
+//
+// Ids are 0-based and must be dense. Lines starting with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tgs/graph/task_graph.h"
+
+namespace tgs {
+
+/// Serialize `g` in tgs1 format.
+void write_graph(std::ostream& os, const TaskGraph& g);
+std::string graph_to_string(const TaskGraph& g);
+
+/// Parse a tgs1 stream; throws std::invalid_argument on malformed input.
+TaskGraph read_graph(std::istream& is);
+TaskGraph graph_from_string(const std::string& text);
+
+/// File helpers; throw std::runtime_error when the file cannot be opened.
+void save_graph(const std::string& path, const TaskGraph& g);
+TaskGraph load_graph(const std::string& path);
+
+}  // namespace tgs

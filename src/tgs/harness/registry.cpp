@@ -1,0 +1,91 @@
+#include "tgs/harness/registry.h"
+
+#include <stdexcept>
+
+#include "tgs/apn/bsa.h"
+#include "tgs/apn/bu.h"
+#include "tgs/apn/dls_apn.h"
+#include "tgs/apn/mh.h"
+#include "tgs/bnp/dls.h"
+#include "tgs/bnp/etf.h"
+#include "tgs/bnp/hlfet.h"
+#include "tgs/bnp/ish.h"
+#include "tgs/bnp/last.h"
+#include "tgs/bnp/mcp.h"
+#include "tgs/unc/dcp.h"
+#include "tgs/unc/dsc.h"
+#include "tgs/unc/ez.h"
+#include "tgs/unc/lc.h"
+#include "tgs/unc/md.h"
+
+namespace tgs {
+
+std::vector<SchedulerPtr> make_bnp_schedulers() {
+  std::vector<SchedulerPtr> out;
+  out.push_back(std::make_unique<HlfetScheduler>());
+  out.push_back(std::make_unique<IshScheduler>());
+  out.push_back(std::make_unique<McpScheduler>());
+  out.push_back(std::make_unique<EtfScheduler>());
+  out.push_back(std::make_unique<DlsScheduler>());
+  out.push_back(std::make_unique<LastScheduler>());
+  return out;
+}
+
+std::vector<SchedulerPtr> make_unc_schedulers() {
+  std::vector<SchedulerPtr> out;
+  out.push_back(std::make_unique<EzScheduler>());
+  out.push_back(std::make_unique<LcScheduler>());
+  out.push_back(std::make_unique<DscScheduler>());
+  out.push_back(std::make_unique<MdScheduler>());
+  out.push_back(std::make_unique<DcpScheduler>());
+  return out;
+}
+
+std::vector<SchedulerPtr> make_unc_and_bnp_schedulers() {
+  auto out = make_unc_schedulers();
+  for (auto& s : make_bnp_schedulers()) out.push_back(std::move(s));
+  return out;
+}
+
+std::vector<ApnSchedulerPtr> make_apn_schedulers() {
+  std::vector<ApnSchedulerPtr> out;
+  out.push_back(std::make_unique<MhScheduler>());
+  out.push_back(std::make_unique<DlsApnScheduler>());
+  out.push_back(std::make_unique<BuScheduler>());
+  out.push_back(std::make_unique<BsaScheduler>());
+  return out;
+}
+
+SchedulerPtr make_scheduler(const std::string& name) {
+  for (auto maker : {make_unc_schedulers, make_bnp_schedulers})
+    for (auto& s : maker())
+      if (s->name() == name) return std::move(s);
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+ApnSchedulerPtr make_apn_scheduler(const std::string& name) {
+  for (auto& s : make_apn_schedulers())
+    if (s->name() == name || (name == "DLS-APN" && s->name() == "DLS"))
+      return std::move(s);
+  throw std::invalid_argument("unknown APN scheduler: " + name);
+}
+
+std::vector<std::string> bnp_names() {
+  std::vector<std::string> out;
+  for (const auto& s : make_bnp_schedulers()) out.push_back(s->name());
+  return out;
+}
+
+std::vector<std::string> unc_names() {
+  std::vector<std::string> out;
+  for (const auto& s : make_unc_schedulers()) out.push_back(s->name());
+  return out;
+}
+
+std::vector<std::string> apn_names() {
+  std::vector<std::string> out;
+  for (const auto& s : make_apn_schedulers()) out.push_back(s->name());
+  return out;
+}
+
+}  // namespace tgs

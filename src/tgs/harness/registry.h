@@ -1,0 +1,37 @@
+// Registry of the paper's 15 scheduling algorithms (paper §4):
+//   BNP: HLFET, ISH, MCP, ETF, DLS, LAST
+//   UNC: EZ, LC, DSC, MD, DCP
+//   APN: MH, DLS, BU, BSA
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tgs/apn/apn_common.h"
+#include "tgs/sched/scheduler.h"
+
+namespace tgs {
+
+/// Fresh instances of the six BNP algorithms, in the paper's order.
+std::vector<SchedulerPtr> make_bnp_schedulers();
+
+/// Fresh instances of the five UNC algorithms, in the paper's order.
+std::vector<SchedulerPtr> make_unc_schedulers();
+
+/// All eleven fully-connected-machine algorithms (UNC then BNP, as the
+/// paper's Table 1 lists them).
+std::vector<SchedulerPtr> make_unc_and_bnp_schedulers();
+
+/// Fresh instances of the four APN algorithms.
+std::vector<ApnSchedulerPtr> make_apn_schedulers();
+
+/// Lookup by table name ("MCP", "DCP", ...); throws std::invalid_argument
+/// for unknown names. APN names: "MH", "DLS-APN"/"DLS", "BU", "BSA".
+SchedulerPtr make_scheduler(const std::string& name);
+ApnSchedulerPtr make_apn_scheduler(const std::string& name);
+
+std::vector<std::string> bnp_names();
+std::vector<std::string> unc_names();
+std::vector<std::string> apn_names();
+
+}  // namespace tgs

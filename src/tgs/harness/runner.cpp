@@ -1,0 +1,42 @@
+#include "tgs/harness/runner.h"
+
+#include "tgs/net/net_validate.h"
+#include "tgs/sched/metrics.h"
+#include "tgs/sched/validate.h"
+#include "tgs/util/timer.h"
+
+namespace tgs {
+
+RunResult run_scheduler(const Scheduler& algo, const TaskGraph& g,
+                        const SchedOptions& opt) {
+  RunResult r;
+  r.algo = algo.name();
+  Timer timer;
+  const Schedule s = algo.run(g, opt);
+  r.seconds = timer.seconds();
+  r.length = s.makespan();
+  r.procs_used = s.procs_used();
+  const ValidationResult v = validate_schedule(s, opt.num_procs);
+  r.valid = v.ok;
+  r.error = v.error;
+  r.nsl = normalized_schedule_length(g, r.length);
+  return r;
+}
+
+RunResult run_apn_scheduler(const ApnScheduler& algo, const TaskGraph& g,
+                            const RoutingTable& routes) {
+  RunResult r;
+  r.algo = algo.name();
+  Timer timer;
+  const NetSchedule ns = algo.run(g, routes);
+  r.seconds = timer.seconds();
+  r.length = ns.makespan();
+  r.procs_used = ns.tasks().procs_used();
+  const ValidationResult v = validate_net_schedule(ns);
+  r.valid = v.ok;
+  r.error = v.error;
+  r.nsl = normalized_schedule_length(g, r.length);
+  return r;
+}
+
+}  // namespace tgs

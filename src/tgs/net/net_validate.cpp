@@ -1,0 +1,105 @@
+#include "tgs/net/net_validate.h"
+
+#include <sstream>
+
+namespace tgs {
+
+ValidationResult validate_net_schedule(const NetSchedule& ns) {
+  const TaskGraph& g = ns.graph();
+  const Schedule& s = ns.tasks();
+  ValidationResult r;
+  auto fail = [&r](const std::string& msg) {
+    r.ok = false;
+    r.error = msg;
+    return r;
+  };
+
+  // Task layer: placement, exclusivity, same-proc precedence. The
+  // cross-proc arrival rule differs (messages, not flat costs), so run the
+  // checks manually rather than via validate_schedule.
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (!s.is_placed(n)) return fail("task not placed");
+    if (s.start(n) < 0) return fail("negative start");
+    if (s.proc(n) >= ns.topology().num_procs())
+      return fail("processor id outside topology");
+  }
+  for (int p = 0; p < s.num_procs(); ++p) {
+    const auto& ivs = s.timeline(p).intervals();
+    for (std::size_t i = 1; i < ivs.size(); ++i)
+      if (ivs[i - 1].end > ivs[i].start) {
+        std::ostringstream os;
+        os << "task overlap on processor " << p;
+        return fail(os.str());
+      }
+  }
+
+  // Link exclusivity.
+  for (int l = 0; l < ns.topology().num_links(); ++l) {
+    const auto& ivs = ns.link_timeline(l).intervals();
+    for (std::size_t i = 1; i < ivs.size(); ++i)
+      if (ivs[i - 1].end > ivs[i].start) {
+        std::ostringstream os;
+        os << "message overlap on link " << l;
+        return fail(os.str());
+      }
+  }
+
+  // Message per cross-proc edge.
+  const RoutingTable& routes = ns.routes();
+  // Index committed messages by (src, dst).
+  const auto& msgs = ns.messages();
+  auto find_msg = [&msgs](NodeId u, NodeId v) -> const Message* {
+    for (const Message& m : msgs)
+      if (m.src == u && m.dst == v) return &m;
+    return nullptr;
+  };
+
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Adj& e : g.children(u)) {
+      const NodeId v = e.node;
+      if (s.proc(u) == s.proc(v)) {
+        if (s.start(v) < s.finish(u)) {
+          std::ostringstream os;
+          os << "same-proc precedence violated on edge " << u << "->" << v;
+          return fail(os.str());
+        }
+        continue;
+      }
+      const Message* m = find_msg(u, v);
+      if (m == nullptr) {
+        std::ostringstream os;
+        os << "missing message for cross-proc edge " << u << "->" << v;
+        return fail(os.str());
+      }
+      if (m->size != e.cost) return fail("message size != edge cost");
+      // Route must match the routing table.
+      const auto& path = routes.path_links(s.proc(u), s.proc(v));
+      if (e.cost > 0) {
+        if (m->hops.size() != path.size())
+          return fail("message hop count differs from route");
+        for (std::size_t h = 0; h < path.size(); ++h)
+          if (m->hops[h].link != path[h])
+            return fail("message uses a link off its route");
+        // Hop timing: departs after FT(u), hops ordered, duration == size.
+        Time prev_end = s.finish(u);
+        for (const MsgHop& hop : m->hops) {
+          if (hop.start < prev_end) return fail("hop starts before data ready");
+          if (hop.end - hop.start != m->size) return fail("hop duration wrong");
+          prev_end = hop.end;
+        }
+        if (s.start(v) < prev_end) {
+          std::ostringstream os;
+          os << "task " << v << " starts before message arrival on edge " << u
+             << "->" << v;
+          return fail(os.str());
+        }
+      } else {
+        if (s.start(v) < s.finish(u))
+          return fail("zero-cost cross edge precedence violated");
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace tgs

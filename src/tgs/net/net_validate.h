@@ -1,0 +1,14 @@
+// APN schedule validation: everything validate_schedule checks, plus the
+// message layer -- every cross-processor edge must have a committed message
+// whose hops follow the routing table, respect link exclusivity, depart
+// after the producer finishes, and arrive before the consumer starts.
+#pragma once
+
+#include "tgs/net/net_schedule.h"
+#include "tgs/sched/validate.h"
+
+namespace tgs {
+
+ValidationResult validate_net_schedule(const NetSchedule& ns);
+
+}  // namespace tgs

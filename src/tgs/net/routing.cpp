@@ -1,0 +1,45 @@
+#include "tgs/net/routing.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace tgs {
+
+RoutingTable::RoutingTable(Topology topo) : topo_(std::move(topo)) {
+  const Topology& t = topo_;
+  const int p = t.num_procs();
+  paths_.resize(static_cast<std::size_t>(p) * p);
+
+  for (int src = 0; src < p; ++src) {
+    // BFS from src; neighbours are visited in ascending processor id, so
+    // parent pointers (and thus paths) are deterministic.
+    std::vector<int> parent(p, -1), via_link(p, -1);
+    std::queue<int> q;
+    std::vector<bool> seen(p, false);
+    seen[src] = true;
+    q.push(src);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (const Topology::Neighbor& nb : t.neighbors(u)) {
+        if (seen[nb.proc]) continue;
+        seen[nb.proc] = true;
+        parent[nb.proc] = u;
+        via_link[nb.proc] = nb.link;
+        q.push(nb.proc);
+      }
+    }
+    for (int dst = 0; dst < p; ++dst) {
+      if (dst == src) continue;
+      std::vector<int> rev;
+      for (int cur = dst; cur != src; cur = parent[cur]) {
+        if (cur < 0 || parent[cur] < 0)
+          throw std::invalid_argument("topology is not connected");
+        rev.push_back(via_link[cur]);
+      }
+      paths_[index(src, dst)].assign(rev.rbegin(), rev.rend());
+    }
+  }
+}
+
+}  // namespace tgs

@@ -1,0 +1,41 @@
+// Deterministic static shortest-path routing for APN message scheduling.
+//
+// Routes are computed once per topology by per-source BFS with smallest-id
+// tie-breaking, so every (src, dst) pair has one fixed path -- the paper's
+// APN algorithms assume a routing table, not adaptive routing.
+#pragma once
+
+#include <vector>
+
+#include "tgs/net/topology.h"
+
+namespace tgs {
+
+class RoutingTable {
+ public:
+  /// Takes a copy of the topology: a RoutingTable is self-contained and can
+  /// be built from a temporary.
+  explicit RoutingTable(Topology topo);
+
+  const Topology& topology() const { return topo_; }
+
+  /// Link ids along the route src -> dst (empty when src == dst).
+  const std::vector<int>& path_links(int src, int dst) const {
+    return paths_[index(src, dst)];
+  }
+
+  /// Hop count of the route.
+  int distance(int src, int dst) const {
+    return static_cast<int>(paths_[index(src, dst)].size());
+  }
+
+ private:
+  std::size_t index(int src, int dst) const {
+    return static_cast<std::size_t>(src) * topo_.num_procs() + dst;
+  }
+
+  Topology topo_;
+  std::vector<std::vector<int>> paths_;
+};
+
+}  // namespace tgs

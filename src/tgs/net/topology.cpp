@@ -1,0 +1,111 @@
+#include "tgs/net/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tgs/util/rng.h"
+
+namespace tgs {
+
+Topology::Topology(std::string name, int p,
+                   std::vector<std::pair<int, int>> links)
+    : name_(std::move(name)), num_procs_(p), links_(std::move(links)) {
+  if (p <= 0) throw std::invalid_argument("topology needs >= 1 processor");
+  for (auto& [a, b] : links_) {
+    if (a == b) throw std::invalid_argument("self-link");
+    if (a > b) std::swap(a, b);
+    if (b >= p) throw std::invalid_argument("link endpoint out of range");
+  }
+  std::sort(links_.begin(), links_.end());
+  links_.erase(std::unique(links_.begin(), links_.end()), links_.end());
+
+  off_.assign(static_cast<std::size_t>(p) + 1, 0);
+  for (const auto& [a, b] : links_) {
+    ++off_[a + 1];
+    ++off_[b + 1];
+  }
+  for (int i = 0; i < p; ++i) off_[i + 1] += off_[i];
+  adj_.resize(links_.size() * 2);
+  std::vector<std::size_t> pos(off_.begin(), off_.end() - 1);
+  for (int l = 0; l < static_cast<int>(links_.size()); ++l) {
+    const auto [a, b] = links_[l];
+    adj_[pos[a]++] = {b, l};
+    adj_[pos[b]++] = {a, l};
+  }
+  for (int i = 0; i < p; ++i)
+    std::sort(adj_.begin() + off_[i], adj_.begin() + off_[i + 1],
+              [](const Neighbor& x, const Neighbor& y) { return x.proc < y.proc; });
+}
+
+Topology Topology::fully_connected(int p) {
+  std::vector<std::pair<int, int>> links;
+  for (int a = 0; a < p; ++a)
+    for (int b = a + 1; b < p; ++b) links.emplace_back(a, b);
+  return Topology("clique" + std::to_string(p), p, std::move(links));
+}
+
+Topology Topology::ring(int p) {
+  std::vector<std::pair<int, int>> links;
+  if (p == 2) links.emplace_back(0, 1);
+  if (p >= 3)
+    for (int a = 0; a < p; ++a) links.emplace_back(a, (a + 1) % p);
+  return Topology("ring" + std::to_string(p), p, std::move(links));
+}
+
+Topology Topology::mesh(int rows, int cols) {
+  std::vector<std::pair<int, int>> links;
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) links.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) links.emplace_back(id(r, c), id(r + 1, c));
+    }
+  return Topology("mesh" + std::to_string(rows) + "x" + std::to_string(cols),
+                  rows * cols, std::move(links));
+}
+
+Topology Topology::hypercube(int dim) {
+  if (dim < 0 || dim > 20) throw std::invalid_argument("bad hypercube dim");
+  const int p = 1 << dim;
+  std::vector<std::pair<int, int>> links;
+  for (int a = 0; a < p; ++a)
+    for (int d = 0; d < dim; ++d) {
+      const int b = a ^ (1 << d);
+      if (a < b) links.emplace_back(a, b);
+    }
+  return Topology("hcube" + std::to_string(dim), p, std::move(links));
+}
+
+Topology Topology::star(int p) {
+  std::vector<std::pair<int, int>> links;
+  for (int b = 1; b < p; ++b) links.emplace_back(0, b);
+  return Topology("star" + std::to_string(p), p, std::move(links));
+}
+
+Topology Topology::random_connected(int p, double extra_prob,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<int, int>> links;
+  // Random spanning tree: attach each node i >= 1 to a uniform earlier node.
+  for (int i = 1; i < p; ++i)
+    links.emplace_back(static_cast<int>(rng.uniform_int(0, i - 1)), i);
+  for (int a = 0; a < p; ++a)
+    for (int b = a + 1; b < p; ++b)
+      if (rng.bernoulli(extra_prob)) links.emplace_back(a, b);
+  return Topology("rand" + std::to_string(p), p, std::move(links));
+}
+
+int Topology::link_between(int a, int b) const {
+  for (const Neighbor& nb : neighbors(a))
+    if (nb.proc == b) return nb.link;
+  return -1;
+}
+
+int Topology::max_degree_proc() const {
+  int best = 0;
+  for (int p = 1; p < num_procs_; ++p)
+    if (degree(p) > degree(best)) best = p;
+  return best;
+}
+
+}  // namespace tgs

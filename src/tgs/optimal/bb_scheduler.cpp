@@ -1,0 +1,314 @@
+#include "tgs/optimal/bb_scheduler.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "tgs/graph/attributes.h"
+#include "tgs/optimal/lower_bounds.h"
+#include "tgs/util/timer.h"
+
+namespace tgs {
+
+namespace {
+
+// 128-bit order-independent state hash: two independently mixed 64-bit
+// accumulators XORed per placement. Two search paths that place the same
+// tasks at the same (processor, start) converge to identical states, so the
+// subtree needs exploring once; the 128 bits make an accidental collision
+// (which would wrongly prune) vanishingly unlikely (~1e-18 at 1e10 states).
+struct StateHash {
+  std::uint64_t lo = 0, hi = 0;
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  void toggle(NodeId n, ProcId p, Time start) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(n) << 48) ^
+                              (static_cast<std::uint64_t>(p) << 40) ^
+                              static_cast<std::uint64_t>(start);
+    lo ^= mix(key ^ 0x9E3779B97F4A7C15ULL);
+    hi ^= mix(key ^ 0xD1B54A32D192ED03ULL);
+  }
+
+  friend bool operator==(const StateHash&, const StateHash&) = default;
+};
+
+struct StateHashHasher {
+  std::size_t operator()(const StateHash& h) const {
+    return static_cast<std::size_t>(h.lo ^ (h.hi * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
+/// A partial schedule as a replayable decision list.
+struct Prefix {
+  std::vector<std::pair<NodeId, ProcId>> moves;
+};
+
+/// Shared search context.
+struct SearchCtx {
+  const TaskGraph* g;
+  const LowerBounds* bounds;
+  int num_procs;
+  bool disable_bounds;
+
+  std::atomic<Time> best_len;
+  std::mutex best_mutex;
+  std::optional<Schedule> best_sched;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> expanded{0};
+  Timer timer;
+  double time_limit = 0.0;
+
+  void offer(const Schedule& s) {
+    const Time len = s.makespan();
+    Time cur = best_len.load(std::memory_order_relaxed);
+    while (len < cur &&
+           !best_len.compare_exchange_weak(cur, len, std::memory_order_relaxed)) {
+    }
+    if (len <= best_len.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(best_mutex);
+      if (!best_sched || s.makespan() < best_sched->makespan())
+        best_sched = s;
+    }
+  }
+
+  bool timed_out() {
+    if (time_limit <= 0.0) return false;
+    if (timer.seconds() > time_limit) {
+      stop.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return stop.load(std::memory_order_relaxed);
+  }
+};
+
+/// Per-worker DFS state with O(1) undo.
+class Dfs {
+ public:
+  Dfs(SearchCtx& ctx, std::size_t seen_cap = 0)
+      : ctx_(ctx), sched_(*ctx.g, ctx.num_procs), seen_cap_(seen_cap) {
+    const TaskGraph& g = *ctx_.g;
+    indeg_.resize(g.num_nodes());
+    for (NodeId n = 0; n < g.num_nodes(); ++n) indeg_[n] = g.num_parents(n);
+    for (NodeId n = 0; n < g.num_nodes(); ++n)
+      if (indeg_[n] == 0) ready_.push_back(n);
+    // Order ready candidates by descending comm-free level for branching.
+    order_key_ = &ctx.bounds->static_levels_nocomm();
+  }
+
+  void replay(const Prefix& prefix) {
+    for (const auto& [n, p] : prefix.moves) apply(n, p);
+  }
+
+  void apply(NodeId n, ProcId p) {
+    const Time ready_t = sched_.data_ready(n, p);
+    const Time start =
+        sched_.earliest_start_on(p, ready_t, ctx_.g->weight(n), /*insertion=*/true);
+    sched_.place(n, p, start);
+    hash_.toggle(n, p, start);
+    ready_.erase(std::find(ready_.begin(), ready_.end(), n));
+    for (const Adj& c : ctx_.g->children(n))
+      if (--indeg_[c.node] == 0) ready_.push_back(c.node);
+  }
+
+  void undo(NodeId n) {
+    for (const Adj& c : ctx_.g->children(n)) {
+      if (indeg_[c.node] == 0)
+        ready_.erase(std::find(ready_.begin(), ready_.end(), c.node));
+      ++indeg_[c.node];
+    }
+    ready_.push_back(n);
+    hash_.toggle(n, sched_.proc(n), sched_.start(n));
+    sched_.unplace(n);
+  }
+
+  void search() {
+    if ((ctx_.expanded.fetch_add(1, std::memory_order_relaxed) & 0x3FF) == 0 &&
+        ctx_.timed_out())
+      return;
+
+    if (ready_.empty()) {
+      ctx_.offer(sched_);
+      return;
+    }
+    if (!ctx_.disable_bounds) {
+      const Time lb = ctx_.bounds->evaluate(sched_);
+      if (lb >= ctx_.best_len.load(std::memory_order_relaxed)) return;
+      // Duplicate-state elimination: different placement orders reaching
+      // the same (task, proc, start) map have identical futures. Safe to
+      // skip: the first visit ran under an equal-or-worse incumbent and
+      // therefore explored an equal-or-larger subtree.
+      if (seen_cap_ > 0 && sched_.placed_count() > 0) {
+        if (seen_.count(hash_)) return;
+        if (seen_.size() < seen_cap_) seen_.insert(hash_);
+      }
+    }
+
+    // Candidate tasks: all ready, by descending comm-free static level
+    // (ties: smaller id). Candidate processors per task: all non-empty plus
+    // the first empty one, ordered by the start time the task would get.
+    std::vector<NodeId> tasks(ready_.begin(), ready_.end());
+    std::sort(tasks.begin(), tasks.end(), [this](NodeId a, NodeId b) {
+      const Time ka = (*order_key_)[a], kb = (*order_key_)[b];
+      return ka != kb ? ka > kb : a < b;
+    });
+
+    for (NodeId n : tasks) {
+      struct Branch {
+        ProcId p;
+        Time start;
+      };
+      std::vector<Branch> branches;
+      bool empty_seen = false;
+      for (ProcId p = 0; p < ctx_.num_procs; ++p) {
+        const bool is_empty = sched_.timeline(p).empty();
+        if (is_empty) {
+          if (empty_seen) continue;  // processor symmetry
+          empty_seen = true;
+        }
+        const Time ready_t = sched_.data_ready(n, p);
+        const Time start = sched_.earliest_start_on(p, ready_t, ctx_.g->weight(n),
+                                                    /*insertion=*/true);
+        branches.push_back({p, start});
+      }
+      std::stable_sort(branches.begin(), branches.end(),
+                       [](const Branch& a, const Branch& b) { return a.start < b.start; });
+      for (const Branch& br : branches) {
+        apply(n, br.p);
+        search();
+        undo(n);
+        if (ctx_.stop.load(std::memory_order_relaxed)) return;
+      }
+    }
+  }
+
+  const std::vector<NodeId>& ready() const { return ready_; }
+  Schedule& schedule() { return sched_; }
+
+ private:
+  SearchCtx& ctx_;
+  Schedule sched_;
+  std::vector<std::size_t> indeg_;
+  std::vector<NodeId> ready_;
+  const std::vector<Time>* order_key_;
+  StateHash hash_;
+  std::size_t seen_cap_;
+  std::unordered_set<StateHash, StateHashHasher> seen_;
+};
+
+}  // namespace
+
+BBResult branch_and_bound(const TaskGraph& g, const BBOptions& opt) {
+  BBResult result;
+  Timer total;
+  if (g.num_nodes() == 0) {
+    result.proven_optimal = true;
+    return result;
+  }
+
+  const int nprocs = std::max(1, opt.num_procs);
+  LowerBounds bounds(g, nprocs);
+
+  SearchCtx ctx;
+  ctx.g = &g;
+  ctx.bounds = &bounds;
+  ctx.num_procs = nprocs;
+  ctx.disable_bounds = opt.disable_bounds;
+  ctx.best_len.store(opt.initial_upper_bound > 0 ? opt.initial_upper_bound + 1
+                                                 : kTimeInf);
+  ctx.time_limit = opt.time_limit_seconds;
+
+  // Frontier expansion (breadth-first) until enough independent subtrees
+  // exist for the workers.
+  int threads = opt.num_threads > 0
+                    ? opt.num_threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::max(1, threads);
+  const std::size_t target_frontier =
+      threads == 1 ? 1 : static_cast<std::size_t>(threads) * 16;
+
+  std::vector<Prefix> frontier{{}};
+  const auto& sl_nc = bounds.static_levels_nocomm();
+  while (frontier.size() < target_frontier) {
+    // Expand the shallowest prefix (they all have equal depth here).
+    std::vector<Prefix> next;
+    bool expanded_any = false;
+    for (const Prefix& pre : frontier) {
+      Dfs probe(ctx);
+      probe.replay(pre);
+      if (probe.ready().empty()) {
+        ctx.offer(probe.schedule());
+        continue;
+      }
+      // Branch on the single most critical ready task (keeps frontier
+      // growth geometric in procs only).
+      std::vector<NodeId> tasks(probe.ready().begin(), probe.ready().end());
+      std::sort(tasks.begin(), tasks.end(), [&](NodeId a, NodeId b) {
+        return sl_nc[a] != sl_nc[b] ? sl_nc[a] > sl_nc[b] : a < b;
+      });
+      const NodeId n = tasks.front();
+      bool empty_seen = false;
+      for (ProcId p = 0; p < nprocs; ++p) {
+        const bool is_empty = probe.schedule().timeline(p).empty();
+        if (is_empty) {
+          if (empty_seen) continue;
+          empty_seen = true;
+        }
+        Prefix child = pre;
+        child.moves.emplace_back(n, p);
+        next.push_back(std::move(child));
+        expanded_any = true;
+      }
+    }
+    if (!expanded_any) break;
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+
+  // Workers drain the frontier. Each worker keeps a bounded duplicate
+  // table; the per-worker cap splits a ~3M-entry global budget.
+  const std::size_t seen_cap =
+      std::max<std::size_t>(65536, 3'000'000 / static_cast<std::size_t>(threads));
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&]() {
+    while (!ctx.stop.load(std::memory_order_relaxed)) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= frontier.size()) return;
+      Dfs dfs(ctx, seen_cap);
+      dfs.replay(frontier[i]);
+      dfs.search();
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  result.nodes_expanded = ctx.expanded.load();
+  result.seconds = total.seconds();
+  result.proven_optimal = !ctx.stop.load();
+  {
+    std::lock_guard<std::mutex> lock(ctx.best_mutex);
+    if (ctx.best_sched) {
+      result.length = ctx.best_sched->makespan();
+      result.schedule = std::move(ctx.best_sched);
+    }
+  }
+  return result;
+}
+
+}  // namespace tgs

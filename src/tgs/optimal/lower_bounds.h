@@ -1,0 +1,46 @@
+// Lower bounds for the branch-and-bound optimal scheduler.
+//
+// Both bounds are valid for the fully-connected contention-free machine
+// with p processors and task placement by insertion:
+//
+//  * Critical-path bound: communication can at best be zeroed, so for any
+//    (partially scheduled) state, every task u must still be followed by
+//    its comm-free static level sl_nc(u); placed tasks are pinned at their
+//    start times, unscheduled ones at an optimistic comm-free earliest
+//    start.
+//  * Load bound: every unit of unscheduled work either fills an existing
+//    idle gap or extends some processor's finish time, so
+//    sum(final finishes) >= sum(current finishes)
+//                           + max(0, remaining work - current idle gaps),
+//    and the makespan is at least that sum divided by p.
+#pragma once
+
+#include <vector>
+
+#include "tgs/graph/task_graph.h"
+#include "tgs/sched/schedule.h"
+
+namespace tgs {
+
+/// Reusable scratch + precomputation for bound evaluation on one graph.
+class LowerBounds {
+ public:
+  explicit LowerBounds(const TaskGraph& g, int num_procs);
+
+  /// Lower bound on the completion of any extension of `s`.
+  Time evaluate(const Schedule& s) const;
+
+  /// Static (empty-schedule) bound: max(comp CP, ceil(work / p)).
+  Time static_bound() const { return static_bound_; }
+
+  const std::vector<Time>& static_levels_nocomm() const { return sl_nc_; }
+
+ private:
+  const TaskGraph* graph_;
+  int num_procs_;
+  std::vector<Time> sl_nc_;
+  Time static_bound_;
+  mutable std::vector<Time> est_;  // scratch
+};
+
+}  // namespace tgs

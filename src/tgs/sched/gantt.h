@@ -1,0 +1,17 @@
+// ASCII Gantt rendering of a schedule, for examples and debugging.
+#pragma once
+
+#include <string>
+
+#include "tgs/sched/schedule.h"
+
+namespace tgs {
+
+/// Per-processor listing: "P0 | [0,2) n1  [2,7) n4 ...".
+std::string schedule_listing(const Schedule& s);
+
+/// Scaled bar chart, at most `width` character columns for the time axis.
+/// Task blocks are labelled with node labels when they fit.
+std::string gantt_chart(const Schedule& s, int width = 100);
+
+}  // namespace tgs

@@ -1,0 +1,45 @@
+#include "tgs/sched/metrics.h"
+
+#include <algorithm>
+
+#include "tgs/graph/attributes.h"
+
+namespace tgs {
+
+double normalized_schedule_length(const TaskGraph& g, Time schedule_length) {
+  const auto cp = critical_path(g);
+  const Cost denom = path_computation_cost(g, cp);
+  if (denom <= 0) return 0.0;
+  return static_cast<double>(schedule_length) / static_cast<double>(denom);
+}
+
+double normalized_schedule_length(const Schedule& s) {
+  return normalized_schedule_length(s.graph(), s.makespan());
+}
+
+double percent_degradation(Time length, Time reference) {
+  if (reference <= 0) return 0.0;
+  return 100.0 * static_cast<double>(length - reference) /
+         static_cast<double>(reference);
+}
+
+double speedup(const TaskGraph& g, Time schedule_length) {
+  if (schedule_length <= 0) return 0.0;
+  return static_cast<double>(g.total_weight()) /
+         static_cast<double>(schedule_length);
+}
+
+double efficiency(const TaskGraph& g, Time schedule_length, int procs_used) {
+  if (procs_used <= 0) return 0.0;
+  return speedup(g, schedule_length) / static_cast<double>(procs_used);
+}
+
+Time schedule_length_lower_bound(const TaskGraph& g, int num_procs) {
+  const Time cp = computation_critical_path_length(g);
+  if (num_procs <= 0) return cp;
+  const Cost work = g.total_weight();
+  const Time load = (work + num_procs - 1) / num_procs;  // ceil
+  return std::max(cp, load);
+}
+
+}  // namespace tgs

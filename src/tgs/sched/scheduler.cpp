@@ -1,0 +1,19 @@
+#include "tgs/sched/scheduler.h"
+
+namespace tgs {
+
+const char* algo_class_name(AlgoClass c) {
+  switch (c) {
+    case AlgoClass::kBNP: return "BNP";
+    case AlgoClass::kUNC: return "UNC";
+    case AlgoClass::kAPN: return "APN";
+  }
+  return "?";
+}
+
+int effective_procs(const TaskGraph& g, const SchedOptions& opt) {
+  if (opt.num_procs > 0) return opt.num_procs;
+  return static_cast<int>(g.num_nodes() == 0 ? 1 : g.num_nodes());
+}
+
+}  // namespace tgs

@@ -1,0 +1,47 @@
+// Common interface of the fully-connected-machine scheduling algorithms
+// (the paper's BNP and UNC classes). APN algorithms, which additionally
+// schedule messages on network links, implement ApnScheduler in
+// apn/apn_common.h.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tgs/graph/task_graph.h"
+#include "tgs/sched/schedule.h"
+
+namespace tgs {
+
+/// Paper §4 taxonomy classes.
+enum class AlgoClass { kBNP, kUNC, kAPN };
+
+const char* algo_class_name(AlgoClass c);
+
+struct SchedOptions {
+  /// Number of processors available. <= 0 means "virtually unlimited"
+  /// (paper §6.4.2: BNP algorithms were tested with a very large number of
+  /// processors; UNC algorithms are defined for unbounded clusters).
+  int num_procs = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Short identifier used in tables ("MCP", "DCP", ...).
+  virtual std::string name() const = 0;
+
+  virtual AlgoClass algo_class() const = 0;
+
+  /// Produce a complete schedule. Must be deterministic: equal inputs give
+  /// bit-identical schedules.
+  virtual Schedule run(const TaskGraph& g, const SchedOptions& opt) const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+/// Effective processor count: opt.num_procs when bounded, else one
+/// processor per task (the most any schedule can use).
+int effective_procs(const TaskGraph& g, const SchedOptions& opt);
+
+}  // namespace tgs

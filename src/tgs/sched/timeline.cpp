@@ -1,0 +1,60 @@
+#include "tgs/sched/timeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tgs {
+
+Time Timeline::earliest_fit(Time ready, Cost dur, bool insertion) const {
+  if (intervals_.empty()) return ready;
+  if (!insertion) return std::max(ready, intervals_.back().end);
+  if (dur == 0) return ready;  // a zero-length block fits anywhere
+
+  // Intervals ending at or before `ready` cannot constrain the placement;
+  // binary-search past them (interval ends are sorted because intervals
+  // are disjoint and sorted by start). Link timelines hold thousands of
+  // message reservations, so this matters.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), ready,
+      [](const Interval& iv, Time t) { return iv.end <= t; });
+  Time candidate = ready;
+  for (; it != intervals_.end(); ++it) {
+    if (candidate + dur <= it->start) return candidate;
+    candidate = std::max(candidate, it->end);
+  }
+  return candidate;
+}
+
+bool Timeline::fits(Time start, Cost dur) const {
+  const Time end = start + dur;
+  // First interval with iv.end > start could overlap.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), start,
+      [](const Interval& iv, Time t) { return iv.end <= t; });
+  if (it == intervals_.end()) return true;
+  return it->start >= end;
+}
+
+void Timeline::occupy(std::int64_t owner, Time start, Cost dur) {
+  if (!fits(start, dur)) throw std::logic_error("Timeline::occupy overlap");
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), start,
+      [](const Interval& iv, Time t) { return iv.start < t; });
+  intervals_.insert(it, Interval{start, start + dur, owner});
+}
+
+bool Timeline::release(std::int64_t owner) {
+  auto it = std::find_if(intervals_.begin(), intervals_.end(),
+                         [owner](const Interval& iv) { return iv.owner == owner; });
+  if (it == intervals_.end()) return false;
+  intervals_.erase(it);
+  return true;
+}
+
+Time Timeline::busy_time() const {
+  Time total = 0;
+  for (const Interval& iv : intervals_) total += iv.end - iv.start;
+  return total;
+}
+
+}  // namespace tgs

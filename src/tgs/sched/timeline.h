@@ -1,0 +1,66 @@
+// A single resource timeline: an ordered set of non-overlapping busy
+// intervals. Used for processors (task execution) and network links
+// (message transmission).
+//
+// The central query is earliest_fit(): the earliest start >= ready of a
+// duration-long block, either appended after the last interval
+// (non-insertion list scheduling) or placed into the first sufficiently
+// large idle gap (insertion-based scheduling, paper §3 "ISH/MCP style").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tgs/util/types.h"
+
+namespace tgs {
+
+/// Occupancy interval [start, end) owned by a task or message id.
+struct Interval {
+  Time start;
+  Time end;
+  std::int64_t owner;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+class Timeline {
+ public:
+  /// Earliest t >= ready such that [t, t+dur) fits.
+  /// insertion=false: returns max(ready, end-of-last-interval).
+  /// insertion=true : first gap (including before the first interval and
+  /// after the last) that can hold dur starting no earlier than ready.
+  /// dur == 0 fits anywhere >= ready.
+  Time earliest_fit(Time ready, Cost dur, bool insertion) const;
+
+  /// True if [start, start+dur) does not overlap any existing interval.
+  bool fits(Time start, Cost dur) const;
+
+  /// Insert an interval; throws std::logic_error if it overlaps.
+  void occupy(std::int64_t owner, Time start, Cost dur);
+
+  /// Remove the interval with this owner; returns false if absent.
+  bool release(std::int64_t owner);
+
+  /// Remove all intervals.
+  void clear() { intervals_.clear(); }
+
+  /// End of the last interval (0 when empty).
+  Time end_time() const {
+    return intervals_.empty() ? 0 : intervals_.back().end;
+  }
+
+  bool empty() const { return intervals_.empty(); }
+  std::size_t size() const { return intervals_.size(); }
+
+  /// Intervals sorted by start time.
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Total busy time.
+  Time busy_time() const;
+
+ private:
+  std::vector<Interval> intervals_;  // sorted by start, non-overlapping
+};
+
+}  // namespace tgs

@@ -1,0 +1,27 @@
+// Schedule validation: the correctness oracle every algorithm and test runs
+// against. Checks the fully-connected contention-free model; APN schedules
+// have a stricter validator in net/net_validate.h.
+#pragma once
+
+#include <string>
+
+#include "tgs/sched/schedule.h"
+
+namespace tgs {
+
+struct ValidationResult {
+  bool ok = true;
+  std::string error;  // first violation found, human readable
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Verifies:
+///  1. every task is placed with start >= 0,
+///  2. tasks on one processor do not overlap,
+///  3. for every edge (u, v): ST(v) >= FT(u) when co-located, and
+///     ST(v) >= FT(u) + c(u, v) otherwise,
+///  4. when max_procs > 0: no task sits on a processor id >= max_procs.
+ValidationResult validate_schedule(const Schedule& s, int max_procs = 0);
+
+}  // namespace tgs

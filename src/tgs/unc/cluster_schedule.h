@@ -1,0 +1,42 @@
+// Turning a cluster assignment into a concrete schedule.
+//
+// Given a fixed node -> cluster (processor) assignment, tasks are ordered
+// by descending b-level (a valid topological order, since b-level strictly
+// decreases along every edge) and each starts at
+//   max(processor available time, data-ready time)
+// with communication zeroed inside a cluster. This is the evaluation step
+// used by EZ after every tentative merge, the final materialization for LC,
+// and the execution-ordering step of the UNC+CS mapping extension.
+#pragma once
+
+#include <vector>
+
+#include "tgs/graph/task_graph.h"
+#include "tgs/sched/schedule.h"
+#include "tgs/util/types.h"
+
+namespace tgs {
+
+/// List-schedule `g` with the fixed `assign`ment (one entry per node).
+/// `insertion` enables idle-slot insertion (off by default: clusters are
+/// sequential task chains in the UNC model).
+Schedule schedule_with_assignment(const TaskGraph& g,
+                                  const std::vector<ProcId>& assign,
+                                  bool insertion = false);
+
+/// Same, but only returns the makespan (no Schedule object); used in the
+/// EZ inner loop where only the length matters.
+Time assignment_makespan(const TaskGraph& g, const std::vector<ProcId>& assign);
+
+/// Hot-loop variant with a precomputed traversal order and caller-owned
+/// scratch buffers (EZ calls this once per edge of the graph).
+Time assignment_makespan(const TaskGraph& g, const std::vector<ProcId>& assign,
+                         const std::vector<NodeId>& order,
+                         std::vector<Time>& start_scratch,
+                         std::vector<Time>& avail_scratch);
+
+/// Deterministic order used by both functions: descending b-level, ties by
+/// node id. Exposed for tests.
+std::vector<NodeId> blevel_order(const TaskGraph& g);
+
+}  // namespace tgs

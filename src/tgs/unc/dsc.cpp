@@ -1,0 +1,93 @@
+#include "tgs/unc/dsc.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "tgs/graph/attributes.h"
+#include "tgs/list/ready_list.h"
+#include "tgs/unc/clustering.h"
+
+namespace tgs {
+
+Schedule DscScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
+  (void)opt;
+  const NodeId n = g.num_nodes();
+  const std::vector<Time> bl = b_levels(g);
+
+  // Cluster state: id per node (representative = first member), the finish
+  // time of the cluster's last appended node, and the start time assigned
+  // to each examined node.
+  std::vector<NodeId> cluster(n, kNoNode);
+  std::vector<Time> cluster_finish;  // indexed by dense cluster id
+  std::vector<Time> start(n, 0);
+  std::vector<bool> examined(n, false);
+
+  ReadyList free_nodes(g);  // "free" in DSC terms: all parents examined
+
+  auto finish_of = [&](NodeId u) { return start[u] + g.weight(u); };
+
+  while (!free_nodes.empty()) {
+    // Highest tlevel + blevel among free nodes; tlevel of a free node is
+    // its best start on a fresh cluster = max over parents FT + c.
+    NodeId nf = kNoNode;
+    Time nf_prio = -1;
+    Time nf_tlevel = 0;
+    for (NodeId u : free_nodes.ready()) {
+      Time tl = 0;
+      for (const Adj& par : g.parents(u))
+        tl = std::max(tl, finish_of(par.node) + par.cost);
+      const Time prio = tl + bl[u];
+      if (prio > nf_prio || (prio == nf_prio && u < nf)) {
+        nf = u;
+        nf_prio = prio;
+        nf_tlevel = tl;
+      }
+    }
+
+    // Candidate clusters: those of nf's parents. Appending nf to cluster C
+    // zeroes the edges from every parent inside C.
+    Time best_start = nf_tlevel;  // fresh-cluster start
+    NodeId best_cluster = kNoNode;
+    std::vector<NodeId> cand;
+    for (const Adj& par : g.parents(nf)) {
+      const NodeId c = cluster[par.node];
+      if (std::find(cand.begin(), cand.end(), c) == cand.end())
+        cand.push_back(c);
+    }
+    std::sort(cand.begin(), cand.end());
+    for (NodeId c : cand) {
+      Time ready = 0;
+      for (const Adj& par : g.parents(nf)) {
+        const Time ft = finish_of(par.node);
+        ready = std::max(ready, cluster[par.node] == c ? ft : ft + par.cost);
+      }
+      const Time st = std::max(ready, cluster_finish[c]);
+      if (st < best_start) {  // strict improvement only
+        best_start = st;
+        best_cluster = c;
+      }
+    }
+
+    if (best_cluster == kNoNode) {
+      // Open a fresh cluster for nf.
+      best_cluster = static_cast<NodeId>(cluster_finish.size());
+      cluster_finish.push_back(0);
+    }
+    cluster[nf] = best_cluster;
+    start[nf] = best_start;
+    cluster_finish[best_cluster] = best_start + g.weight(nf);
+    examined[nf] = true;
+    free_nodes.mark_scheduled(nf);
+  }
+
+  // Materialize: placements are exactly the (cluster, start) pairs.
+  ProcId max_c = 0;
+  for (NodeId u = 0; u < n; ++u)
+    max_c = std::max(max_c, static_cast<ProcId>(cluster[u]));
+  Schedule sched(g, max_c + 1);
+  for (NodeId u = 0; u < n; ++u)
+    sched.place(u, static_cast<ProcId>(cluster[u]), start[u]);
+  return sched;
+}
+
+}  // namespace tgs

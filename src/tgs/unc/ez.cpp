@@ -1,0 +1,51 @@
+#include "tgs/unc/ez.h"
+
+#include <algorithm>
+
+#include "tgs/unc/cluster_schedule.h"
+#include "tgs/unc/clustering.h"
+
+namespace tgs {
+
+Schedule EzScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
+  (void)opt;  // UNC: the number of clusters is unbounded by definition.
+
+  struct EdgeRef {
+    NodeId u, v;
+    Cost cost;
+  };
+  std::vector<EdgeRef> edges;
+  edges.reserve(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (const Adj& c : g.children(u)) edges.push_back({u, c.node, c.cost});
+  std::sort(edges.begin(), edges.end(), [](const EdgeRef& a, const EdgeRef& b) {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+
+  DisjointSets ds(g.num_nodes());
+  const std::vector<NodeId> order = blevel_order(g);
+  std::vector<Time> start_scratch, avail_scratch;
+
+  std::vector<ProcId> assign = dense_assignment(ds);
+  Time best =
+      assignment_makespan(g, assign, order, start_scratch, avail_scratch);
+
+  for (const EdgeRef& e : edges) {
+    if (ds.same(e.u, e.v)) continue;  // already zeroed transitively
+    auto snap = ds.snapshot();
+    ds.merge(e.u, e.v);
+    assign = dense_assignment(ds);
+    const Time len =
+        assignment_makespan(g, assign, order, start_scratch, avail_scratch);
+    if (len <= best) {
+      best = len;  // commit (Sarkar: accept when not worse)
+    } else {
+      ds.restore(std::move(snap));
+    }
+  }
+
+  return schedule_with_assignment(g, dense_assignment(ds));
+}
+
+}  // namespace tgs

@@ -1,0 +1,21 @@
+// EZ -- Edge Zeroing (Sarkar, 1989; paper ref [28]).
+//
+// Classification: UNC, non-CP-based, non-greedy. Edges are examined in
+// descending order of communication cost; zeroing an edge means merging the
+// clusters of its endpoints. A merge is committed iff the makespan of the
+// resulting clustering (evaluated by the deterministic cluster-schedule of
+// cluster_schedule.h) does not increase. Complexity O(e (v + e)).
+#pragma once
+
+#include "tgs/sched/scheduler.h"
+
+namespace tgs {
+
+class EzScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "EZ"; }
+  AlgoClass algo_class() const override { return AlgoClass::kUNC; }
+  Schedule run(const TaskGraph& g, const SchedOptions& opt) const override;
+};
+
+}  // namespace tgs

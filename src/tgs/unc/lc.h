@@ -1,0 +1,23 @@
+// LC -- Linear Clustering (Kim & Browne, 1988; paper ref [20]).
+//
+// Classification: UNC, CP-based, non-greedy. Repeatedly finds the current
+// critical path over the still-unexamined nodes (edges to examined nodes
+// are cut), collapses that whole path into one linear cluster, marks its
+// nodes examined, and iterates until every node is clustered. Every cluster
+// is a chain, hence "linear". The paper notes LC "pays no attention to the
+// use of processors" -- each peeled path opens a new cluster -- which we
+// reproduce (Fig. 3(a) behaviour). Complexity O(v (v + e)).
+#pragma once
+
+#include "tgs/sched/scheduler.h"
+
+namespace tgs {
+
+class LcScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "LC"; }
+  AlgoClass algo_class() const override { return AlgoClass::kUNC; }
+  Schedule run(const TaskGraph& g, const SchedOptions& opt) const override;
+};
+
+}  // namespace tgs

@@ -1,0 +1,41 @@
+#include "tgs/util/cli.h"
+
+#include <cstdlib>
+
+namespace tgs {
+
+Cli::Cli(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_[arg.substr(2)] = "1";
+      } else {
+        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return flags_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace tgs

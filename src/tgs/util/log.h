@@ -1,0 +1,41 @@
+// Tiny leveled logger. Benches use it for progress lines on stderr so that
+// stdout stays a clean, parseable table stream.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tgs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr with a level prefix.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, out_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+#define TGS_LOG_DEBUG ::tgs::detail::LogStream(::tgs::LogLevel::kDebug)
+#define TGS_LOG_INFO ::tgs::detail::LogStream(::tgs::LogLevel::kInfo)
+#define TGS_LOG_WARN ::tgs::detail::LogStream(::tgs::LogLevel::kWarn)
+#define TGS_LOG_ERROR ::tgs::detail::LogStream(::tgs::LogLevel::kError)
+
+}  // namespace tgs

@@ -1,0 +1,39 @@
+// Small descriptive-statistics helpers used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tgs {
+
+/// Streaming accumulator: count, mean, population/sample stddev, min, max.
+class StatAccumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 when n < 2.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Median of a copy of `xs` (average of middle two for even n); 0 if empty.
+double median(std::vector<double> xs);
+
+/// Arithmetic mean; 0 if empty.
+double mean_of(const std::vector<double>& xs);
+
+/// Geometric mean of strictly positive values; 0 if empty.
+double geomean_of(const std::vector<double>& xs);
+
+}  // namespace tgs

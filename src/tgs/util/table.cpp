@@ -1,0 +1,91 @@
+#include "tgs/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tgs {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_int(long long v) { return std::to_string(v); }
+
+std::string Table::to_ascii() const {
+  // Column widths over header + all rows.
+  std::size_t ncols = headers_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << (c == 0 ? "" : "  ");
+      // Right-align everything but the first column (labels on the left,
+      // numbers on the right reads best for the paper-style tables).
+      if (c == 0) {
+        out << cell << std::string(width[c] - cell.size(), ' ');
+      } else {
+        out << std::string(width[c] - cell.size(), ' ') << cell;
+      }
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < ncols; ++c) total += width[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out << (c ? "," : "") << csv_escape(headers_[c]);
+  out << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      out << (c ? "," : "") << csv_escape(r[c]);
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace tgs

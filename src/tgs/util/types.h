@@ -1,0 +1,32 @@
+// Core scalar types shared by every tgs subsystem.
+//
+// Costs and times are 64-bit integers: the paper's benchmark generators draw
+// integer weights (uniform, mean 40), and integer arithmetic keeps schedule
+// validation exact -- two schedules are equal iff they are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tgs {
+
+/// Index of a task (node) inside a TaskGraph. Dense, 0-based.
+using NodeId = std::uint32_t;
+
+/// Index of a processor. Dense, 0-based; kNoProc marks "not yet placed".
+using ProcId = std::int32_t;
+
+/// Computation / communication weight.
+using Cost = std::int64_t;
+
+/// A point on the schedule time axis.
+using Time = std::int64_t;
+
+inline constexpr ProcId kNoProc = -1;
+
+/// "Infinity" that survives a few additions without overflowing.
+inline constexpr Time kTimeInf = std::numeric_limits<Time>::max() / 8;
+
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace tgs

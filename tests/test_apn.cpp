@@ -1,0 +1,174 @@
+// Tests for the four APN algorithms: message-level validity across
+// topologies, determinism, and algorithm-specific behaviours.
+#include <gtest/gtest.h>
+
+#include "tgs/apn/bsa.h"
+#include "tgs/apn/bu.h"
+#include "tgs/apn/dls_apn.h"
+#include "tgs/apn/mh.h"
+#include "tgs/gen/psg.h"
+#include "tgs/gen/rgnos.h"
+#include "tgs/gen/structured.h"
+#include "tgs/graph/attributes.h"
+#include "tgs/harness/registry.h"
+#include "tgs/net/net_validate.h"
+#include "tgs/unc/cluster_schedule.h"
+
+namespace tgs {
+namespace {
+
+std::vector<TaskGraph> apn_zoo() {
+  std::vector<TaskGraph> zoo;
+  zoo.push_back(psg_canonical9());
+  zoo.push_back(psg_irregular13());
+  zoo.push_back(chain_graph(6, 10, 20));
+  zoo.push_back(fork_join(5, 10, 30));
+  RgnosParams p;
+  p.num_nodes = 50;
+  p.ccr = 1.0;
+  p.parallelism = 3;
+  p.seed = 14;
+  zoo.push_back(rgnos_graph(p));
+  return zoo;
+}
+
+std::vector<Topology> topo_zoo() {
+  std::vector<Topology> topos;
+  topos.push_back(Topology::ring(4));
+  topos.push_back(Topology::mesh(2, 3));
+  topos.push_back(Topology::hypercube(3));
+  topos.push_back(Topology::fully_connected(4));
+  topos.push_back(Topology::star(5));
+  return topos;
+}
+
+TEST(Apn, AllValidAcrossTopologies) {
+  for (const auto& topo : topo_zoo()) {
+    const RoutingTable routes(topo);
+    for (const auto& algo : make_apn_schedulers()) {
+      for (const auto& g : apn_zoo()) {
+        const NetSchedule ns = algo->run(g, routes);
+        const auto v = validate_net_schedule(ns);
+        EXPECT_TRUE(v.ok) << algo->name() << " on " << g.name() << " / "
+                          << topo.name() << ": " << v.error;
+        EXPECT_GE(ns.makespan(), computation_critical_path_length(g));
+      }
+    }
+  }
+}
+
+TEST(Apn, Deterministic) {
+  const Topology topo = Topology::hypercube(3);
+  const RoutingTable routes(topo);
+  RgnosParams p;
+  p.num_nodes = 40;
+  p.seed = 77;
+  const TaskGraph g = rgnos_graph(p);
+  for (const auto& algo : make_apn_schedulers()) {
+    const NetSchedule a = algo->run(g, routes);
+    const NetSchedule b = algo->run(g, routes);
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      EXPECT_EQ(a.tasks().proc(n), b.tasks().proc(n)) << algo->name();
+      EXPECT_EQ(a.tasks().start(n), b.tasks().start(n)) << algo->name();
+    }
+  }
+}
+
+TEST(ApnCommon, BuildWithAssignmentRoutesEverything) {
+  const TaskGraph g = psg_canonical9();
+  const Topology topo = Topology::ring(4);
+  const RoutingTable routes(topo);
+  std::vector<ProcId> assign(g.num_nodes());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) assign[n] = n % 4;
+  const NetSchedule ns =
+      apn_build_with_assignment(g, routes, assign, /*insertion=*/false);
+  const auto v = validate_net_schedule(ns);
+  EXPECT_TRUE(v.ok) << v.error;
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    EXPECT_EQ(ns.tasks().proc(n), assign[n]);
+}
+
+TEST(ApnCommon, ProbeNeverBeatsCommit) {
+  // The probe ignores intra-node message contention, so the committed
+  // start can only be later or equal.
+  const TaskGraph g = psg_irregular13();
+  const Topology topo = Topology::ring(4);
+  const RoutingTable routes(topo);
+  NetSchedule ns(g, routes);
+  for (NodeId n : blevel_order(g)) {
+    const int p = static_cast<int>(n % 4);
+    const Time probe = apn_probe_est(ns, n, p, false);
+    const Time committed = apn_commit_node(ns, n, p, false);
+    EXPECT_LE(probe, committed);
+  }
+  EXPECT_TRUE(validate_net_schedule(ns).ok);
+}
+
+TEST(Bsa, StartsFromMaxDegreePivotAndImproves) {
+  // BSA must never be worse than the serial injection it starts from.
+  const TaskGraph g = psg_canonical9();
+  const Topology topo = Topology::hypercube(3);
+  const RoutingTable routes(topo);
+  BsaScheduler bsa;
+  const NetSchedule ns = bsa.run(g, routes);
+  EXPECT_LE(ns.makespan(), g.total_weight());
+  EXPECT_TRUE(validate_net_schedule(ns).ok);
+}
+
+TEST(Bsa, SingleProcessorTopologyDegeneratesToSerial) {
+  const TaskGraph g = psg_canonical9();
+  const Topology topo = Topology::fully_connected(1);
+  const RoutingTable routes(topo);
+  BsaScheduler bsa;
+  const NetSchedule ns = bsa.run(g, routes);
+  EXPECT_EQ(ns.makespan(), g.total_weight());
+}
+
+TEST(Bu, AssignsChildrenBeforeParents) {
+  // On a chain, BU's bottom-up pull keeps everything on one processor.
+  const TaskGraph g = chain_graph(6, 10, 25);
+  const Topology topo = Topology::ring(4);
+  const RoutingTable routes(topo);
+  BuScheduler bu;
+  const NetSchedule ns = bu.run(g, routes);
+  EXPECT_EQ(ns.tasks().procs_used(), 1);
+  EXPECT_EQ(ns.makespan(), 60);
+}
+
+TEST(Mh, ChainStaysLocal) {
+  const TaskGraph g = chain_graph(6, 10, 25);
+  const Topology topo = Topology::mesh(2, 2);
+  const RoutingTable routes(topo);
+  MhScheduler mh;
+  const NetSchedule ns = mh.run(g, routes);
+  EXPECT_EQ(ns.tasks().procs_used(), 1);
+  EXPECT_EQ(ns.makespan(), 60);
+}
+
+TEST(DlsApn, ChainStaysLocal) {
+  const TaskGraph g = chain_graph(6, 10, 25);
+  const Topology topo = Topology::hypercube(2);
+  const RoutingTable routes(topo);
+  DlsApnScheduler dls;
+  const NetSchedule ns = dls.run(g, routes);
+  EXPECT_EQ(ns.tasks().procs_used(), 1);
+  EXPECT_EQ(ns.makespan(), 60);
+}
+
+TEST(Apn, MoreLinksNeverHurtMuch) {
+  // Paper §6.4.1: "all algorithms perform better on the networks with more
+  // communication links". Compare ring vs clique on the same graph; allow
+  // slack (heuristics are not monotone), but the clique should win for the
+  // contention-heavy fork-join.
+  const TaskGraph g = fork_join(8, 10, 40);
+  const RoutingTable ring_routes{Topology::ring(4)};
+  const RoutingTable clique_routes{Topology::fully_connected(4)};
+  for (const auto& algo : make_apn_schedulers()) {
+    const Time ring_len = algo->run(g, ring_routes).makespan();
+    const Time clique_len = algo->run(g, clique_routes).makespan();
+    EXPECT_LE(clique_len, ring_len) << algo->name();
+  }
+}
+
+}  // namespace
+}  // namespace tgs

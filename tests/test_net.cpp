@@ -1,0 +1,203 @@
+// Tests for the network substrate: topologies, routing, message
+// scheduling, APN validation.
+#include <gtest/gtest.h>
+
+#include "tgs/gen/structured.h"
+#include "tgs/net/net_schedule.h"
+#include "tgs/net/net_validate.h"
+#include "tgs/net/routing.h"
+#include "tgs/net/topology.h"
+
+namespace tgs {
+namespace {
+
+TEST(Topology, CliqueCounts) {
+  const Topology t = Topology::fully_connected(6);
+  EXPECT_EQ(t.num_procs(), 6);
+  EXPECT_EQ(t.num_links(), 15);
+  EXPECT_EQ(t.degree(0), 5);
+}
+
+TEST(Topology, RingCounts) {
+  const Topology t = Topology::ring(8);
+  EXPECT_EQ(t.num_links(), 8);
+  for (int p = 0; p < 8; ++p) EXPECT_EQ(t.degree(p), 2);
+  EXPECT_GE(t.link_between(0, 7), 0);
+  EXPECT_EQ(t.link_between(0, 3), -1);
+}
+
+TEST(Topology, RingOfTwo) {
+  const Topology t = Topology::ring(2);
+  EXPECT_EQ(t.num_links(), 1);
+}
+
+TEST(Topology, MeshCounts) {
+  const Topology t = Topology::mesh(2, 4);
+  EXPECT_EQ(t.num_procs(), 8);
+  EXPECT_EQ(t.num_links(), 2 * 3 + 4);  // rows*(cols-1) + cols*(rows-1)
+  EXPECT_EQ(t.degree(0), 2);            // corner
+}
+
+TEST(Topology, HypercubeCounts) {
+  const Topology t = Topology::hypercube(3);
+  EXPECT_EQ(t.num_procs(), 8);
+  EXPECT_EQ(t.num_links(), 12);  // d * 2^d / 2
+  for (int p = 0; p < 8; ++p) EXPECT_EQ(t.degree(p), 3);
+}
+
+TEST(Topology, StarHub) {
+  const Topology t = Topology::star(5);
+  EXPECT_EQ(t.num_links(), 4);
+  EXPECT_EQ(t.max_degree_proc(), 0);
+}
+
+TEST(Topology, RandomConnectedIsConnected) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Topology t = Topology::random_connected(9, 0.2, seed);
+    // RoutingTable construction throws if disconnected.
+    EXPECT_NO_THROW(RoutingTable{t});
+  }
+}
+
+TEST(Topology, DeterministicRandom) {
+  const Topology a = Topology::random_connected(7, 0.3, 5);
+  const Topology b = Topology::random_connected(7, 0.3, 5);
+  EXPECT_EQ(a.links(), b.links());
+}
+
+TEST(Routing, CliqueSingleHop) {
+  const Topology t = Topology::fully_connected(4);
+  const RoutingTable r(t);
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b)
+      if (a != b) EXPECT_EQ(r.distance(a, b), 1);
+}
+
+TEST(Routing, RingShortestPath) {
+  const Topology t = Topology::ring(6);
+  const RoutingTable r(t);
+  EXPECT_EQ(r.distance(0, 3), 3);
+  EXPECT_EQ(r.distance(0, 5), 1);
+  EXPECT_EQ(r.distance(2, 4), 2);
+}
+
+TEST(Routing, HypercubeHammingDistance) {
+  const Topology t = Topology::hypercube(4);
+  const RoutingTable r(t);
+  EXPECT_EQ(r.distance(0b0000, 0b1111), 4);
+  EXPECT_EQ(r.distance(0b0101, 0b0100), 1);
+}
+
+TEST(Routing, PathsUseAdjacentLinks) {
+  const Topology t = Topology::mesh(3, 3);
+  const RoutingTable r(t);
+  for (int a = 0; a < 9; ++a)
+    for (int b = 0; b < 9; ++b) {
+      if (a == b) continue;
+      // Verify the link sequence is a connected path from a to b.
+      int cur = a;
+      for (int link : r.path_links(a, b)) {
+        const auto [x, y] = t.links()[link];
+        ASSERT_TRUE(cur == x || cur == y);
+        cur = cur == x ? y : x;
+      }
+      EXPECT_EQ(cur, b);
+    }
+}
+
+TEST(NetSchedule, MessageHopsAndContention) {
+  // Two messages over the same ring link must serialize.
+  const TaskGraph g = fork_join(2, 10, 8);  // fork(0) w1(1) w2(2) join(3)
+  const Topology topo = Topology::ring(4);
+  const RoutingTable routes(topo);
+  NetSchedule ns(g, routes);
+  ns.tasks().place(0, 0, 0);  // fork on P0, finishes at 10
+  // Both workers on P1: two messages 0->1 over the same link.
+  const Time a1 = ns.commit_message(0, 1, 1);
+  const Time a2 = ns.commit_message(0, 2, 1);
+  EXPECT_EQ(a1, 18);  // depart 10 + 8
+  EXPECT_EQ(a2, 26);  // serialized behind the first
+  ns.tasks().place(1, 1, a1);
+  ns.tasks().place(2, 1, 28);
+  // Join back on P0.
+  const Time a3 = ns.commit_message(1, 3, 0);
+  const Time a4 = ns.commit_message(2, 3, 0);
+  ns.tasks().place(3, 0, std::max(a3, a4));
+  const auto v = validate_net_schedule(ns);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(NetSchedule, MultiHopStoreAndForward) {
+  const TaskGraph g = chain_graph(2, 10, 6);
+  const Topology topo = Topology::ring(6);  // 0 -> 3 needs 3 hops
+  const RoutingTable routes(topo);
+  NetSchedule ns(g, routes);
+  ns.tasks().place(0, 0, 0);
+  const Time arrival = ns.commit_message(0, 1, 3);
+  EXPECT_EQ(arrival, 10 + 3 * 6);
+  ns.tasks().place(1, 3, arrival);
+  EXPECT_TRUE(validate_net_schedule(ns).ok);
+  ASSERT_EQ(ns.messages().size(), 1u);
+  EXPECT_EQ(ns.messages()[0].hops.size(), 3u);
+}
+
+TEST(NetSchedule, ProbeMatchesCommitWhenUncontended) {
+  const TaskGraph g = chain_graph(2, 10, 6);
+  const Topology topo = Topology::mesh(2, 2);
+  const RoutingTable routes(topo);
+  NetSchedule ns(g, routes);
+  ns.tasks().place(0, 0, 0);
+  const Time probe = ns.probe_arrival(0, 3, 6, 10);
+  const Time commit = ns.commit_message(0, 1, 3);
+  EXPECT_EQ(probe, commit);
+}
+
+TEST(NetSchedule, ReleaseMessageFreesLinks) {
+  const TaskGraph g = chain_graph(2, 10, 6);
+  const Topology topo = Topology::ring(4);
+  const RoutingTable routes(topo);
+  NetSchedule ns(g, routes);
+  ns.tasks().place(0, 0, 0);
+  ns.commit_message(0, 1, 1);
+  EXPECT_EQ(ns.messages().size(), 1u);
+  ns.release_message(0, 1);
+  EXPECT_TRUE(ns.messages().empty());
+  const int link = topo.link_between(0, 1);
+  EXPECT_TRUE(ns.link_timeline(link).empty());
+}
+
+TEST(NetValidate, CatchesMissingMessage) {
+  const TaskGraph g = chain_graph(2, 10, 6);
+  const Topology topo = Topology::ring(4);
+  const RoutingTable routes(topo);
+  NetSchedule ns(g, routes);
+  ns.tasks().place(0, 0, 0);
+  ns.tasks().place(1, 1, 100);  // no message committed
+  const auto v = validate_net_schedule(ns);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("missing message"), std::string::npos);
+}
+
+TEST(NetValidate, CatchesEarlyStart) {
+  const TaskGraph g = chain_graph(2, 10, 6);
+  const Topology topo = Topology::ring(4);
+  const RoutingTable routes(topo);
+  NetSchedule ns(g, routes);
+  ns.tasks().place(0, 0, 0);
+  const Time arrival = ns.commit_message(0, 1, 1);
+  ns.tasks().place(1, 1, arrival - 1);  // starts before the message lands
+  EXPECT_FALSE(validate_net_schedule(ns).ok);
+}
+
+TEST(NetValidate, SameProcNeedsNoMessage) {
+  const TaskGraph g = chain_graph(2, 10, 6);
+  const Topology topo = Topology::ring(4);
+  const RoutingTable routes(topo);
+  NetSchedule ns(g, routes);
+  ns.tasks().place(0, 2, 0);
+  ns.tasks().place(1, 2, 10);
+  EXPECT_TRUE(validate_net_schedule(ns).ok);
+}
+
+}  // namespace
+}  // namespace tgs

@@ -1,0 +1,104 @@
+// Unit tests for sched/timeline.h: insertion-slot queries, occupancy
+// invariants, release.
+#include <gtest/gtest.h>
+
+#include "tgs/sched/timeline.h"
+
+namespace tgs {
+namespace {
+
+TEST(Timeline, EmptyFitsAnywhere) {
+  Timeline tl;
+  EXPECT_EQ(tl.earliest_fit(0, 5, false), 0);
+  EXPECT_EQ(tl.earliest_fit(7, 5, true), 7);
+  EXPECT_TRUE(tl.fits(100, 50));
+  EXPECT_EQ(tl.end_time(), 0);
+}
+
+TEST(Timeline, AppendModeIgnoresGaps) {
+  Timeline tl;
+  tl.occupy(1, 0, 10);
+  tl.occupy(2, 50, 10);
+  // Non-insertion: after the last interval, even though [10,50) is idle.
+  EXPECT_EQ(tl.earliest_fit(0, 5, false), 60);
+  EXPECT_EQ(tl.earliest_fit(70, 5, false), 70);
+}
+
+TEST(Timeline, InsertionFindsFirstGap) {
+  Timeline tl;
+  tl.occupy(1, 0, 10);
+  tl.occupy(2, 50, 10);
+  EXPECT_EQ(tl.earliest_fit(0, 5, true), 10);
+  EXPECT_EQ(tl.earliest_fit(0, 40, true), 10);
+  EXPECT_EQ(tl.earliest_fit(0, 41, true), 60);  // gap too small
+  EXPECT_EQ(tl.earliest_fit(20, 5, true), 20);
+  EXPECT_EQ(tl.earliest_fit(48, 5, true), 60);  // would collide with [50,60)
+}
+
+TEST(Timeline, InsertionBeforeFirstInterval) {
+  Timeline tl;
+  tl.occupy(1, 20, 10);
+  EXPECT_EQ(tl.earliest_fit(0, 10, true), 0);
+  EXPECT_EQ(tl.earliest_fit(0, 21, true), 30);
+  EXPECT_EQ(tl.earliest_fit(5, 15, true), 5);   // [5, 20) touches the block
+  EXPECT_EQ(tl.earliest_fit(6, 15, true), 30);  // [6, 21) would collide
+}
+
+TEST(Timeline, ZeroDurationFits) {
+  Timeline tl;
+  tl.occupy(1, 0, 10);
+  EXPECT_EQ(tl.earliest_fit(3, 0, true), 3);
+}
+
+TEST(Timeline, OccupyRejectsOverlap) {
+  Timeline tl;
+  tl.occupy(1, 10, 10);
+  EXPECT_THROW(tl.occupy(2, 15, 1), std::logic_error);
+  EXPECT_THROW(tl.occupy(2, 5, 6), std::logic_error);
+  EXPECT_NO_THROW(tl.occupy(3, 20, 5));  // touching is fine
+  EXPECT_NO_THROW(tl.occupy(4, 5, 5));
+}
+
+TEST(Timeline, FitsBoundaryConditions) {
+  Timeline tl;
+  tl.occupy(1, 10, 10);
+  EXPECT_TRUE(tl.fits(0, 10));
+  EXPECT_TRUE(tl.fits(20, 10));
+  EXPECT_FALSE(tl.fits(19, 2));
+  EXPECT_FALSE(tl.fits(9, 2));
+}
+
+TEST(Timeline, ReleaseRemovesInterval) {
+  Timeline tl;
+  tl.occupy(7, 0, 10);
+  tl.occupy(8, 10, 10);
+  EXPECT_TRUE(tl.release(7));
+  EXPECT_FALSE(tl.release(7));
+  EXPECT_TRUE(tl.fits(0, 10));
+  EXPECT_EQ(tl.size(), 1u);
+}
+
+TEST(Timeline, IntervalsSortedAfterMixedInserts) {
+  Timeline tl;
+  tl.occupy(1, 50, 5);
+  tl.occupy(2, 0, 5);
+  tl.occupy(3, 20, 5);
+  const auto& ivs = tl.intervals();
+  ASSERT_EQ(ivs.size(), 3u);
+  EXPECT_EQ(ivs[0].start, 0);
+  EXPECT_EQ(ivs[1].start, 20);
+  EXPECT_EQ(ivs[2].start, 50);
+  EXPECT_EQ(tl.busy_time(), 15);
+  EXPECT_EQ(tl.end_time(), 55);
+}
+
+TEST(Timeline, EarliestFitAfterManyIntervals) {
+  Timeline tl;
+  for (int i = 0; i < 100; ++i) tl.occupy(i, i * 10, 8);  // gaps of 2
+  EXPECT_EQ(tl.earliest_fit(0, 2, true), 8);
+  EXPECT_EQ(tl.earliest_fit(503, 2, true), 508);
+  EXPECT_EQ(tl.earliest_fit(0, 3, true), 998);  // no gap of 3 until the end
+}
+
+}  // namespace
+}  // namespace tgs
