@@ -13,7 +13,7 @@
 #include "tgs/optimal/bb_scheduler.h"
 #include "tgs/util/cli.h"
 
-int main(int argc, char** argv) {
+static int bench_main(int argc, char** argv) {
   using namespace tgs;
   const Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
@@ -69,4 +69,8 @@ int main(int argc, char** argv) {
               "Ablation: B&B states expanded, pruning on vs exhaustive",
               table);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return tgs::bench::guarded_main(bench_main, argc, argv);
 }

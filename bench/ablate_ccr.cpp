@@ -12,8 +12,9 @@
 #include "tgs/harness/runner.h"
 #include "tgs/net/routing.h"
 #include "tgs/util/cli.h"
+#include "tgs/util/rng.h"
 
-int main(int argc, char** argv) {
+static int bench_main(int argc, char** argv) {
   using namespace tgs;
   const Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
@@ -35,7 +36,8 @@ int main(int argc, char** argv) {
       p.num_nodes = nodes;
       p.ccr = ccr;
       p.parallelism = 1 + i % 5;
-      p.seed = seed + static_cast<std::uint64_t>(i) * 131;
+      // Keyed by i only: CCR rows stay paired on the same base structure.
+      p.seed = derive_seed(seed, static_cast<std::uint64_t>(i));
       const TaskGraph g = rgnos_graph(p);
       for (const auto& a : make_unc_and_bnp_schedulers())
         stats.add(ccr, a->name(), run_scheduler(*a, g, {}).nsl);
@@ -52,4 +54,8 @@ int main(int argc, char** argv) {
   bench::emit("ablate_ccr", "Ablation: average NSL vs CCR (all 15 algorithms)",
               stats.render(3));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return tgs::bench::guarded_main(bench_main, argc, argv);
 }

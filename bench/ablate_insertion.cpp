@@ -15,8 +15,9 @@
 #include "tgs/harness/experiment.h"
 #include "tgs/harness/registry.h"
 #include "tgs/util/cli.h"
+#include "tgs/util/rng.h"
 
-int main(int argc, char** argv) {
+static int bench_main(int argc, char** argv) {
   using namespace tgs;
   const Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
   const auto etf = make_scheduler("ETF");
   const auto mcp = make_scheduler("MCP");
 
+  std::uint64_t stream = 0;  // one derived RNG stream per graph
   for (double ccr : {0.1, 0.5, 1.0, 2.0, 10.0}) {
     int wins = 0, ties = 0;
     for (int i = 0; i < graphs; ++i) {
@@ -36,8 +38,7 @@ int main(int argc, char** argv) {
       p.num_nodes = 150;
       p.ccr = ccr;
       p.parallelism = 1 + i % 5;
-      p.seed = seed + static_cast<std::uint64_t>(i) * 1000 +
-               static_cast<std::uint64_t>(ccr * 10);
+      p.seed = derive_seed(seed, stream++);
       const TaskGraph g = rgnos_graph(p);
       const double lh = static_cast<double>(hlfet->run(g, {}).makespan());
       const double li = static_cast<double>(ish->run(g, {}).makespan());
@@ -58,4 +59,8 @@ int main(int argc, char** argv) {
   bench::emit("ablate_insertion", "Ablation: insertion vs non-insertion",
               stats.render(3));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return tgs::bench::guarded_main(bench_main, argc, argv);
 }

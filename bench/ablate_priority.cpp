@@ -17,8 +17,9 @@
 #include "tgs/harness/registry.h"
 #include "tgs/harness/runner.h"
 #include "tgs/util/cli.h"
+#include "tgs/util/rng.h"
 
-int main(int argc, char** argv) {
+static int bench_main(int argc, char** argv) {
   using namespace tgs;
   const Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
@@ -38,14 +39,14 @@ int main(int argc, char** argv) {
     }
   };
 
+  std::uint64_t stream = 0;  // one derived RNG stream per graph
   for (double ccr : {0.1, 1.0, 10.0}) {
     for (int i = 0; i < graphs; ++i) {
       RgnosParams p;
       p.num_nodes = 150;
       p.ccr = ccr;
       p.parallelism = 1 + i % 5;
-      p.seed = seed + static_cast<std::uint64_t>(i) * 313 +
-               static_cast<std::uint64_t>(ccr * 10);
+      p.seed = derive_seed(seed, stream++);
       const TaskGraph g = rgnos_graph(p);
       run_group({"HLFET", "ISH"}, g, ccr, "static(HLFET,ISH)");
       run_group({"ETF", "DLS"}, g, ccr, "dynamic(ETF,DLS)");
@@ -63,4 +64,8 @@ int main(int argc, char** argv) {
               "Ablation: priority scheme, average scheduling time (ms)",
               time_ms.render(2));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return tgs::bench::guarded_main(bench_main, argc, argv);
 }

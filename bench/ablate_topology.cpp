@@ -14,8 +14,9 @@
 #include "tgs/harness/runner.h"
 #include "tgs/net/routing.h"
 #include "tgs/util/cli.h"
+#include "tgs/util/rng.h"
 
-int main(int argc, char** argv) {
+static int bench_main(int argc, char** argv) {
   using namespace tgs;
   const Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
@@ -37,7 +38,8 @@ int main(int argc, char** argv) {
       p.num_nodes = nodes;
       p.ccr = i % 2 == 0 ? 1.0 : 2.0;
       p.parallelism = 2 + i % 3;
-      p.seed = seed + static_cast<std::uint64_t>(i) * 97;
+      // Keyed by i only: every machine must see the same graph suite.
+      p.seed = derive_seed(seed, static_cast<std::uint64_t>(i));
       const TaskGraph g = rgnos_graph(p);
       for (const auto& a : make_apn_schedulers()) {
         const RunResult r = run_apn_scheduler(*a, g, routes);
@@ -60,4 +62,8 @@ int main(int argc, char** argv) {
   bench::emit("ablate_topology", "Ablation: APN NSL vs network connectivity",
               stats.render(3));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return tgs::bench::guarded_main(bench_main, argc, argv);
 }

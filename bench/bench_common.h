@@ -29,6 +29,19 @@ inline void emit(const std::string& name, const std::string& title,
     std::printf("[csv: %s]\n\n", path.c_str());
 }
 
+/// Wrapper for bench mains: a malformed flag (Cli's numeric accessors
+/// throw std::invalid_argument) becomes a clean stderr message and exit 2
+/// instead of std::terminate.
+template <typename Fn>
+int guarded_main(Fn fn, int argc, char** argv) {
+  try {
+    return fn(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
 /// Default RGNOS (CCR, parallelism) replications per size: a diverse
 /// 5-graph slice of the paper's 25-combination grid. --full uses all 25.
 inline std::vector<std::pair<double, int>> rgnos_reps(bool full) {

@@ -16,8 +16,9 @@
 #include "tgs/sched/metrics.h"
 #include "tgs/sched/validate.h"
 #include "tgs/util/cli.h"
+#include "tgs/util/rng.h"
 
-int main(int argc, char** argv) {
+static int bench_main(int argc, char** argv) {
   using namespace tgs;
   const Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
@@ -27,13 +28,14 @@ int main(int argc, char** argv) {
   PivotStats stats("v", {"DSC+Sarkar", "DSC+RCP", "DCP+Sarkar", "DCP+RCP",
                          "MCP", "ETF"});
 
+  std::uint64_t stream = 0;  // one derived RNG stream per graph
   for (NodeId v = 50; v <= 300; v += 50) {
     for (int i = 0; i < graphs; ++i) {
       RgnosParams p;
       p.num_nodes = v;
       p.ccr = i % 2 == 0 ? 1.0 : 2.0;
       p.parallelism = 2 + i % 3;
-      p.seed = seed + static_cast<std::uint64_t>(i) * 59 + v;
+      p.seed = derive_seed(seed, stream++);
       const TaskGraph g = rgnos_graph(p);
 
       for (const char* unc_name : {"DSC", "DCP"}) {
@@ -67,4 +69,8 @@ int main(int argc, char** argv) {
               "Extension: UNC + cluster scheduling vs direct BNP (avg NSL)",
               stats.render(3));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return tgs::bench::guarded_main(bench_main, argc, argv);
 }

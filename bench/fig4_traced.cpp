@@ -16,7 +16,7 @@
 #include "tgs/net/routing.h"
 #include "tgs/util/cli.h"
 
-int main(int argc, char** argv) {
+static int bench_main(int argc, char** argv) {
   using namespace tgs;
   const Cli cli(argc, argv);
   const int max_dim = static_cast<int>(cli.get_int("max-dim", 32));
@@ -65,4 +65,8 @@ int main(int argc, char** argv) {
               "Figure 4 extension: Gaussian elimination cross-check",
               gauss_stats.render(3));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return tgs::bench::guarded_main(bench_main, argc, argv);
 }

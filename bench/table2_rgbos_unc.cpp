@@ -21,7 +21,7 @@
 #include "tgs/sched/metrics.h"
 #include "tgs/util/cli.h"
 
-int main(int argc, char** argv) {
+static int bench_main(int argc, char** argv) {
   using namespace tgs;
   const Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1998));
@@ -92,4 +92,8 @@ int main(int argc, char** argv) {
   bench::emit("table2_rgbos_unc",
               "Table 2: % degradation from optimal, UNC on RGBOS", table);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return tgs::bench::guarded_main(bench_main, argc, argv);
 }

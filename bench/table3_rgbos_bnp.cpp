@@ -15,7 +15,7 @@
 #include "tgs/sched/metrics.h"
 #include "tgs/util/cli.h"
 
-int main(int argc, char** argv) {
+static int bench_main(int argc, char** argv) {
   using namespace tgs;
   const Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1998));
@@ -80,4 +80,8 @@ int main(int argc, char** argv) {
   bench::emit("table3_rgbos_bnp",
               "Table 3: % degradation from optimal, BNP on RGBOS", table);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return tgs::bench::guarded_main(bench_main, argc, argv);
 }

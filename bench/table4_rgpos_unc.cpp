@@ -14,7 +14,7 @@
 #include "tgs/sched/metrics.h"
 #include "tgs/util/cli.h"
 
-int main(int argc, char** argv) {
+static int bench_main(int argc, char** argv) {
   using namespace tgs;
   const Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1998));
@@ -64,4 +64,8 @@ int main(int argc, char** argv) {
               "Table 4: % degradation from planted optimal, UNC on RGPOS",
               table);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return tgs::bench::guarded_main(bench_main, argc, argv);
 }

@@ -14,8 +14,9 @@
 #include "tgs/harness/runner.h"
 #include "tgs/net/routing.h"
 #include "tgs/util/cli.h"
+#include "tgs/util/rng.h"
 
-int main(int argc, char** argv) {
+static int bench_main(int argc, char** argv) {
   using namespace tgs;
   const Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1998));
@@ -31,15 +32,14 @@ int main(int argc, char** argv) {
 
   const RoutingTable routes{Topology::hypercube(3)};
 
+  std::uint64_t stream = 0;  // one derived RNG stream per graph
   for (NodeId v = 50; v <= max_nodes; v += 50) {
     for (const auto& [ccr, par] : reps) {
       RgnosParams params;
       params.num_nodes = v;
       params.ccr = ccr;
       params.parallelism = par;
-      params.seed = seed ^ (static_cast<std::uint64_t>(v) << 32) ^
-                    (static_cast<std::uint64_t>(par) << 8) ^
-                    static_cast<std::uint64_t>(ccr * 100);
+      params.seed = derive_seed(seed, stream++);
       const TaskGraph g = rgnos_graph(params);
 
       for (const auto& a : make_unc_and_bnp_schedulers()) {
@@ -69,4 +69,8 @@ int main(int argc, char** argv) {
   bench::emit("table6_runtimes",
               "Table 6: average scheduling times (seconds) on RGNOS", table);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return tgs::bench::guarded_main(bench_main, argc, argv);
 }

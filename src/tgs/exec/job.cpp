@@ -1,0 +1,20 @@
+#include "tgs/exec/job.h"
+
+namespace tgs {
+
+Record record_from_run(const RunResult& r, std::string pivot, double row,
+                       double value) {
+  Record rec;
+  rec.pivot = std::move(pivot);
+  rec.row = row;
+  rec.column = r.algo;
+  rec.value = value;
+  rec.num.emplace_back("length", static_cast<double>(r.length));
+  rec.num.emplace_back("nsl", r.nsl);
+  rec.num.emplace_back("procs", static_cast<double>(r.procs_used));
+  rec.num.emplace_back("valid", r.valid ? 1.0 : 0.0);
+  if (!r.error.empty()) rec.str.emplace_back("error", r.error);
+  return rec;
+}
+
+}  // namespace tgs

@@ -1,0 +1,63 @@
+// Job model of the experiment-execution engine.
+//
+// A job is one independent unit of a benchmark sweep: typically "generate
+// one graph, run a set of algorithms on it, measure". Jobs communicate
+// exclusively through the Records they return, so any number of them can
+// run concurrently, and because each job's RNG seed is derived from
+// (master_seed, job_index) -- never from shared mutable state -- a sweep
+// produces identical results at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tgs/harness/runner.h"
+
+namespace tgs {
+
+/// One measurement emitted by a job: a pivot-table cell (pivot / row /
+/// column / value) plus free-form numeric and string fields that only
+/// appear in the JSONL stream. Field order is preserved so equal runs
+/// serialize to identical bytes.
+struct Record {
+  std::string pivot;   // which pivot table the cell belongs to
+  double row = 0.0;    // pivot row key (graph size, CCR, ...)
+  std::string column;  // pivot column (algorithm name)
+  double value = 0.0;  // cell value (NSL, % degradation, ms, ...)
+  std::vector<std::pair<std::string, double>> num;
+  std::vector<std::pair<std::string, std::string>> str;
+};
+
+/// Everything a job may depend on besides its captured parameters.
+struct JobContext {
+  std::uint64_t index = 0;        // dense position in the sweep
+  std::uint64_t master_seed = 0;  // the sweep's --seed
+  std::uint64_t seed = 0;         // derive_seed(master_seed, index)
+};
+
+using JobFn = std::function<std::vector<Record>(const JobContext&)>;
+
+struct Job {
+  JobContext ctx;
+  JobFn fn;
+};
+
+/// Result of one executed job, in submission (index) order inside the sink.
+struct JobResult {
+  std::uint64_t index = 0;
+  std::vector<Record> records;
+  std::string error;  // what() of a thrown exception; empty on success
+};
+
+/// Record from a runner measurement: cell value `value`, plus the
+/// deterministic RunResult fields (length, nsl, procs, valid) as JSONL
+/// numbers. Wall-clock seconds are deliberately NOT included -- jobs that
+/// measure time add it explicitly, so that accuracy sweeps stay
+/// byte-reproducible.
+Record record_from_run(const RunResult& r, std::string pivot, double row,
+                       double value);
+
+}  // namespace tgs

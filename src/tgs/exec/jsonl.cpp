@@ -1,0 +1,105 @@
+#include "tgs/exec/jsonl.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tgs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void JsonObject::key(const std::string& k) {
+  if (buf_.size() > 1) buf_ += ',';
+  buf_ += '"';
+  buf_ += json_escape(k);
+  buf_ += "\":";
+}
+
+JsonObject& JsonObject::add(const std::string& k, const std::string& v) {
+  key(k);
+  buf_ += '"';
+  buf_ += json_escape(v);
+  buf_ += '"';
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& k, const char* v) {
+  return add(k, std::string(v));
+}
+
+JsonObject& JsonObject::add(const std::string& k, double v) {
+  key(k);
+  buf_ += json_double(v);
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& k, bool v) {
+  key(k);
+  buf_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::add_int(const std::string& k, std::int64_t v) {
+  key(k);
+  buf_ += std::to_string(v);
+  return *this;
+}
+
+JsonObject& JsonObject::add_uint(const std::string& k, std::uint64_t v) {
+  key(k);
+  buf_ += std::to_string(v);
+  return *this;
+}
+
+JsonlWriter::JsonlWriter(const std::string& path, bool append)
+    : file_(path, append ? std::ios::app : std::ios::trunc) {
+  if (file_.is_open()) os_ = &file_;
+}
+
+JsonlWriter::JsonlWriter(std::ostream& os) : os_(&os) {}
+
+void JsonlWriter::write_line(const std::string& line) {
+  if (os_ == nullptr) return;
+  *os_ << line << '\n';
+}
+
+void JsonlWriter::flush() {
+  if (os_ != nullptr) os_->flush();
+}
+
+}  // namespace tgs

@@ -1,0 +1,67 @@
+// Minimal JSON-lines output for the experiment engine.
+//
+// Records are flat objects (no nesting needed for sweep results), written
+// one per line so that any offline tool (jq, pandas, awk) can consume them.
+// Doubles are rendered with the shortest decimal form that round-trips,
+// which keeps files compact AND byte-stable: the same double always
+// renders to the same text, so equal sweeps produce identical files.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+namespace tgs {
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(const std::string& s);
+
+/// Shortest decimal representation of `v` that strtod parses back to
+/// exactly `v`. Integral values render without a fractional part.
+std::string json_double(double v);
+
+/// Append-only builder for one flat JSON object.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, const std::string& value);
+  JsonObject& add(const std::string& key, const char* value);
+  JsonObject& add(const std::string& key, double value);
+  JsonObject& add(const std::string& key, bool value);
+  JsonObject& add_int(const std::string& key, std::int64_t value);
+  JsonObject& add_uint(const std::string& key, std::uint64_t value);
+
+  /// The completed "{...}" text. The builder may keep growing afterwards.
+  std::string str() const { return buf_ + "}"; }
+
+ private:
+  void key(const std::string& k);
+  std::string buf_ = "{";
+};
+
+/// Line-oriented writer over an owned file or a borrowed stream. Not
+/// thread-safe: the ResultSink serializes access.
+class JsonlWriter {
+ public:
+  /// Opens `path` for writing -- truncating, or appending when `append`
+  /// (e.g. several experiments sharing one --out file). ok() reports
+  /// failure.
+  explicit JsonlWriter(const std::string& path, bool append = false);
+
+  /// Borrows an existing stream (tests, stdout). Not owned.
+  explicit JsonlWriter(std::ostream& os);
+
+  bool ok() const { return os_ != nullptr && os_->good(); }
+
+  /// Writes `line` plus '\n'.
+  void write_line(const std::string& line);
+
+  /// Flushes; automatically done on destruction for owned files.
+  void flush();
+
+ private:
+  std::ofstream file_;
+  std::ostream* os_ = nullptr;
+};
+
+}  // namespace tgs

@@ -1,0 +1,88 @@
+#include "tgs/exec/result_sink.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tgs {
+
+ResultSink::ResultSink(std::string experiment, JsonlWriter* writer)
+    : experiment_(std::move(experiment)), writer_(writer) {}
+
+void ResultSink::start(std::size_t num_jobs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.assign(num_jobs, std::nullopt);
+  ordered_.clear();
+  next_flush_ = 0;
+  finished_ = false;
+}
+
+void ResultSink::submit(JobResult r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) throw std::logic_error("ResultSink: submit after finish");
+  if (r.index >= slots_.size())
+    throw std::out_of_range("ResultSink: job index beyond start() size");
+  if (slots_[r.index].has_value())
+    throw std::logic_error("ResultSink: duplicate job index");
+  slots_[r.index] = std::move(r);
+  // Stream the contiguous completed prefix, preserving job order.
+  while (next_flush_ < slots_.size() && slots_[next_flush_].has_value()) {
+    const JobResult& jr = *slots_[next_flush_];
+    for (const Record& rec : jr.records) write_record(jr, rec);
+    if (jr.records.empty() && !jr.error.empty() && writer_ != nullptr) {
+      JsonObject obj;
+      obj.add("experiment", experiment_)
+          .add_uint("job", jr.index)
+          .add("job_error", jr.error);
+      writer_->write_line(obj.str());
+    }
+    ++next_flush_;
+  }
+}
+
+void ResultSink::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  ordered_.reserve(slots_.size());
+  for (auto& slot : slots_) {
+    ordered_.push_back(slot.has_value() ? std::move(*slot) : JobResult{});
+    slot.reset();
+  }
+  slots_.clear();
+  if (writer_ != nullptr) writer_->flush();
+}
+
+void ResultSink::fold(const std::string& pivot, PivotStats& stats) const {
+  for (const JobResult& jr : ordered_)
+    for (const Record& rec : jr.records)
+      if (rec.pivot == pivot) stats.add(rec.row, rec.column, rec.value);
+}
+
+std::size_t ResultSink::num_errors() const {
+  std::size_t n = 0;
+  for (const JobResult& jr : ordered_)
+    if (!jr.error.empty()) ++n;
+  return n;
+}
+
+std::string ResultSink::first_error() const {
+  for (const JobResult& jr : ordered_)
+    if (!jr.error.empty()) return jr.error;
+  return "";
+}
+
+void ResultSink::write_record(const JobResult& jr, const Record& rec) {
+  if (writer_ == nullptr) return;
+  JsonObject obj;
+  obj.add("experiment", experiment_).add_uint("job", jr.index);
+  if (!jr.error.empty()) obj.add("job_error", jr.error);
+  obj.add("pivot", rec.pivot)
+      .add("row", rec.row)
+      .add("column", rec.column)
+      .add("value", rec.value);
+  for (const auto& [k, v] : rec.num) obj.add(k, v);
+  for (const auto& [k, v] : rec.str) obj.add(k, v);
+  writer_->write_line(obj.str());
+}
+
+}  // namespace tgs

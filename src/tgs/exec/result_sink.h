@@ -1,0 +1,69 @@
+// Thread-safe collection point for job results.
+//
+// Workers complete jobs in an arbitrary order; the sink stores every
+// JobResult in a slot indexed by job index and streams JSONL records
+// through a reorder buffer -- a record is written only once all
+// lower-indexed jobs have been written. Output is therefore byte-identical
+// at any thread count while still streaming (the file grows as the
+// completed prefix grows, instead of materializing only at the end).
+//
+// Aggregation into PivotStats likewise folds records in job-index order,
+// so floating-point accumulation order -- and thus every rendered mean --
+// is independent of scheduling.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tgs/exec/job.h"
+#include "tgs/exec/jsonl.h"
+#include "tgs/harness/experiment.h"
+
+namespace tgs {
+
+class ResultSink {
+ public:
+  /// `experiment` stamps every JSONL record; `writer` (borrowed, may be
+  /// null) receives one line per record.
+  explicit ResultSink(std::string experiment, JsonlWriter* writer = nullptr);
+
+  /// Sizes the reorder buffer; must precede any submit(). Calling again
+  /// resets the sink for a fresh run.
+  void start(std::size_t num_jobs);
+
+  /// Deliver one job's result. Thread-safe; each index exactly once.
+  void submit(JobResult r);
+
+  /// After the last submit: flushes the writer. Submitting later is an
+  /// error.
+  void finish();
+
+  /// All results in job-index order (valid after finish(); slots of jobs
+  /// that were never submitted are default-constructed).
+  const std::vector<JobResult>& results() const { return ordered_; }
+
+  /// Fold every record of `pivot` into `stats`, in job-index order.
+  void fold(const std::string& pivot, PivotStats& stats) const;
+
+  /// Jobs that reported a non-empty error.
+  std::size_t num_errors() const;
+  /// First error in job-index order ("" when none).
+  std::string first_error() const;
+
+ private:
+  void write_record(const JobResult& jr, const Record& rec);
+
+  std::string experiment_;
+  JsonlWriter* writer_;
+
+  std::mutex mu_;
+  std::vector<std::optional<JobResult>> slots_;
+  std::size_t next_flush_ = 0;
+  std::vector<JobResult> ordered_;  // filled by finish()
+  bool finished_ = false;
+};
+
+}  // namespace tgs

@@ -68,6 +68,7 @@ struct SearchCtx {
   std::atomic<std::uint64_t> expanded{0};
   Timer timer;
   double time_limit = 0.0;
+  std::uint64_t max_nodes = 0;
 
   void offer(const Schedule& s) {
     const Time len = s.makespan();
@@ -133,9 +134,12 @@ class Dfs {
   }
 
   void search() {
-    if ((ctx_.expanded.fetch_add(1, std::memory_order_relaxed) & 0x3FF) == 0 &&
-        ctx_.timed_out())
+    const std::uint64_t n = ctx_.expanded.fetch_add(1, std::memory_order_relaxed);
+    if (ctx_.max_nodes > 0 && n >= ctx_.max_nodes) {
+      ctx_.stop.store(true, std::memory_order_relaxed);
       return;
+    }
+    if ((n & 0x3FF) == 0 && ctx_.timed_out()) return;
 
     if (ready_.empty()) {
       ctx_.offer(sched_);
@@ -227,6 +231,7 @@ BBResult branch_and_bound(const TaskGraph& g, const BBOptions& opt) {
   ctx.best_len.store(opt.initial_upper_bound > 0 ? opt.initial_upper_bound + 1
                                                  : kTimeInf);
   ctx.time_limit = opt.time_limit_seconds;
+  ctx.max_nodes = opt.max_nodes;
 
   // Frontier expansion (breadth-first) until enough independent subtrees
   // exist for the workers.

@@ -40,6 +40,11 @@ struct BBOptions {
   /// Wall-clock budget; expiry returns the best schedule found so far with
   /// proven_optimal = false. <= 0 means no limit.
   double time_limit_seconds = 10.0;
+  /// Deterministic budget: stop after this many node expansions (0 = no
+  /// limit). Unlike the wall-clock limit, equal budgets reproduce the same
+  /// search on any machine when num_threads == 1, which the experiment
+  /// engine relies on for bit-identical sweeps.
+  std::uint64_t max_nodes = 0;
   /// 0 = std::thread::hardware_concurrency().
   int num_threads = 0;
   /// Optional incumbent (e.g., the best heuristic length) to prune against

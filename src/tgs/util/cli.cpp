@@ -1,6 +1,8 @@
 #include "tgs/util/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace tgs {
 
@@ -11,9 +13,9 @@ Cli::Cli(int argc, char** argv) {
     if (arg.rfind("--", 0) == 0) {
       const auto eq = arg.find('=');
       if (eq == std::string::npos) {
-        flags_[arg.substr(2)] = "1";
+        flags_[arg.substr(2)].push_back("1");
       } else {
-        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        flags_[arg.substr(2, eq - 2)].push_back(arg.substr(eq + 1));
       }
     } else {
       positional_.push_back(std::move(arg));
@@ -25,17 +27,48 @@ bool Cli::has(const std::string& key) const { return flags_.count(key) > 0; }
 
 std::string Cli::get(const std::string& key, const std::string& fallback) const {
   auto it = flags_.find(key);
-  return it == flags_.end() ? fallback : it->second;
+  return it == flags_.end() ? fallback : it->second.back();
 }
 
 std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
   auto it = flags_.find(key);
-  return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second.back();
+  errno = 0;
+  char* end = nullptr;
+  const long long x = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE)
+    throw std::invalid_argument("--" + key + "=" + v + ": not an integer");
+  return x;
 }
 
 double Cli::get_double(const std::string& key, double fallback) const {
   auto it = flags_.find(key);
-  return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second.back();
+  errno = 0;
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE)
+    throw std::invalid_argument("--" + key + "=" + v + ": not a number");
+  return x;
+}
+
+std::vector<std::string> Cli::get_list(const std::string& key) const {
+  std::vector<std::string> out;
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return out;
+  for (const std::string& value : it->second) {
+    std::size_t pos = 0;
+    while (pos <= value.size()) {
+      const std::size_t comma = value.find(',', pos);
+      const std::size_t end = comma == std::string::npos ? value.size() : comma;
+      if (end > pos) out.push_back(value.substr(pos, end - pos));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  return out;
 }
 
 }  // namespace tgs

@@ -10,22 +10,33 @@ namespace tgs {
 
 /// Parses "--key=value" and bare "--key" (value "1") arguments. Positional
 /// arguments are collected in order. Unknown flags are kept (benches share a
-/// common set and ignore what they do not use).
+/// common set and ignore what they do not use). A flag may be repeated
+/// (`--algo=MCP --algo=DCP`): `get`-style accessors see the last occurrence,
+/// `get_list` sees them all.
 class Cli {
  public:
   Cli(int argc, char** argv);
 
   bool has(const std::string& key) const;
   std::string get(const std::string& key, const std::string& fallback) const;
+
+  /// Numeric accessors throw std::invalid_argument when the value is present
+  /// but malformed ("12x", "", out of range) -- a mistyped flag must not
+  /// silently truncate into a valid-looking parameter.
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
+
+  /// Every occurrence of the flag in command-line order, with each value
+  /// additionally split on commas: `--algo=MCP --algo=DCP,ETF` ->
+  /// {"MCP", "DCP", "ETF"}. Empty when the flag is absent.
+  std::vector<std::string> get_list(const std::string& key) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
 
  private:
   std::string program_;
-  std::map<std::string, std::string> flags_;
+  std::map<std::string, std::vector<std::string>> flags_;
   std::vector<std::string> positional_;
 };
 

@@ -67,6 +67,17 @@ Cost Rng::uniform_mean(Cost mean, Cost lo_floor) {
   return uniform_int(mean - half, mean + half);
 }
 
+std::uint64_t derive_seed(std::uint64_t master_seed, std::uint64_t stream) {
+  // Hash the stream index through one SplitMix64 step, fold it into the
+  // master seed, and mix again: both arguments pass through a full
+  // bijective mixer before the output, so single-bit input changes flip
+  // ~half the output bits.
+  std::uint64_t s = stream;
+  const std::uint64_t h = splitmix64(s);
+  std::uint64_t state = master_seed ^ h;
+  return splitmix64(state);
+}
+
 Rng Rng::split() {
   std::uint64_t sub = (*this)();
   return Rng(sub);

@@ -54,4 +54,13 @@ class Rng {
 /// SplitMix64 step; exposed for deterministic seed derivation in callers.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// SeedSequence-style child-seed derivation: a well-mixed seed for stream
+/// `stream` (job index, replication number, ...) of a sweep keyed by
+/// `master_seed`. Unlike the `seed + i` / `seed ^ (v << k)` patterns it
+/// replaces, nearby streams yield uncorrelated generators, and for a fixed
+/// master_seed distinct streams never collide across parameter grids (the
+/// map is bijective in `stream`; across different masters collisions are
+/// merely astronomically unlikely, not impossible).
+std::uint64_t derive_seed(std::uint64_t master_seed, std::uint64_t stream);
+
 }  // namespace tgs

@@ -1,0 +1,263 @@
+// Tests for the experiment-execution engine: thread pool lifecycle, sweep
+// expansion, JSONL formatting, and the headline guarantee -- identical
+// results (pivot cells AND serialized records) at any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "tgs/exec/result_sink.h"
+#include "tgs/exec/sweep.h"
+#include "tgs/exec/thread_pool.h"
+#include "tgs/gen/rgnos.h"
+#include "tgs/harness/registry.h"
+#include "tgs/harness/runner.h"
+#include "tgs/util/rng.h"
+
+namespace tgs {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskPastExhaustion) {
+  // Far more tasks than workers: the queue must absorb the excess.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 1000; ++i)
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 1000);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i)
+    pool.submit([&order, i] { order.push_back(i); });
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, WaitIdleAllowsFurtherSubmissions) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([&done] { ++done; });
+  pool.wait_idle();
+  pool.submit([&done] { ++done; });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueueAndRejectsNewWork) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.shutdown();
+  EXPECT_EQ(done.load(), 100);
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPool, CountsThrowingTasks) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  pool.submit([] {});
+  pool.wait_idle();
+  EXPECT_EQ(pool.tasks_failed(), 1u);
+}
+
+TEST(Sweep, ExpansionCountsAndOrder) {
+  Sweep sweep;
+  sweep.axis("a", {1, 2}).axis("b", {10, 20, 30}).replications(4);
+  EXPECT_EQ(sweep.size(), 24u);
+  const auto points = sweep.expand();
+  ASSERT_EQ(points.size(), 24u);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(points[i].index, i);
+  // Replication varies fastest, then the last axis.
+  EXPECT_EQ(points[0].param("a"), 1);
+  EXPECT_EQ(points[0].param("b"), 10);
+  EXPECT_EQ(points[0].replication, 0);
+  EXPECT_EQ(points[3].replication, 3);
+  EXPECT_EQ(points[4].param("b"), 20);
+  EXPECT_EQ(points[12].param("a"), 2);
+  EXPECT_THROW(points[0].param("missing"), std::invalid_argument);
+}
+
+TEST(Sweep, EmptyAxisExpandsToNothing) {
+  Sweep sweep;
+  sweep.axis("a", {1, 2}).axis("empty", {});
+  EXPECT_EQ(sweep.size(), 0u);
+  EXPECT_TRUE(sweep.expand().empty());
+}
+
+TEST(Sweep, NoAxesIsOnePointPerReplication) {
+  Sweep sweep;
+  sweep.replications(3);
+  EXPECT_EQ(sweep.size(), 3u);
+  EXPECT_EQ(sweep.expand().size(), 3u);
+}
+
+TEST(Sweep, DerivedSeedsAreDistinctPerJob) {
+  Sweep sweep;
+  sweep.axis("v", {1, 2, 3, 4}).replications(50);
+  std::set<std::uint64_t> seeds;
+  for (const SweepPoint& p : sweep.expand())
+    seeds.insert(derive_seed(123, p.index));
+  EXPECT_EQ(seeds.size(), 200u);
+}
+
+TEST(Jsonl, EscapingAndShortestDoubles) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_double(10.0), "10");
+  EXPECT_EQ(json_double(0.5), "0.5");
+  EXPECT_EQ(json_double(1.0 / 3.0), "0.3333333333333333");
+  JsonObject obj;
+  obj.add("name", "MCP").add("nsl", 1.25).add_int("v", -3).add("ok", true);
+  EXPECT_EQ(obj.str(), "{\"name\":\"MCP\",\"nsl\":1.25,\"v\":-3,\"ok\":true}");
+}
+
+TEST(ResultSink, StreamsInJobOrderRegardlessOfArrival) {
+  std::ostringstream os;
+  JsonlWriter writer(os);
+  ResultSink sink("t", &writer);
+  sink.start(3);
+  const auto result = [](std::uint64_t index, const char* column) {
+    JobResult r;
+    r.index = index;
+    Record rec;
+    rec.pivot = "p";
+    rec.column = column;
+    r.records.push_back(rec);
+    return r;
+  };
+  sink.submit(result(2, "c"));
+  EXPECT_EQ(os.str(), "");  // jobs 0-1 still outstanding
+  sink.submit(result(0, "a"));
+  sink.submit(result(1, "b"));
+  sink.finish();
+  const std::string text = os.str();
+  const auto pos_a = text.find("\"a\""), pos_b = text.find("\"b\""),
+             pos_c = text.find("\"c\"");
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_LT(pos_b, pos_c);
+  EXPECT_THROW(sink.submit(result(0, "late")), std::logic_error);
+}
+
+TEST(ResultSink, RejectsBadIndices) {
+  ResultSink sink("t");
+  sink.start(2);
+  JobResult r;
+  r.index = 5;
+  EXPECT_THROW(sink.submit(std::move(r)), std::out_of_range);
+  JobResult a;
+  a.index = 0;
+  sink.submit(std::move(a));
+  JobResult dup;
+  dup.index = 0;
+  EXPECT_THROW(sink.submit(std::move(dup)), std::logic_error);
+}
+
+// A small but real sweep: RGNOS graphs through two schedulers. Used to pin
+// the engine's core guarantee at different thread counts.
+struct MiniSweepOutput {
+  std::string jsonl;
+  std::vector<std::pair<double, double>>
+      cells;  // (row, mean NSL) per algorithm in fold order
+  std::size_t errors = 0;
+};
+
+MiniSweepOutput run_mini_sweep(int threads, std::uint64_t seed) {
+  Sweep sweep;
+  sweep.axis("v", {20, 30, 40}).replications(3);
+  std::ostringstream os;
+  JsonlWriter writer(os);
+  ResultSink sink("mini", &writer);
+  run_sweep(
+      sweep, seed, threads,
+      [](const JobContext& jc, const SweepPoint& pt) {
+        RgnosParams params;
+        params.num_nodes = static_cast<NodeId>(pt.param("v"));
+        params.ccr = 1.0;
+        params.parallelism = 2;
+        params.seed = jc.seed;
+        const TaskGraph g = rgnos_graph(params);
+        std::vector<Record> records;
+        for (const char* name : {"MCP", "DCP"}) {
+          const RunResult rr = run_scheduler(*make_scheduler(name), g, {});
+          records.push_back(record_from_run(rr, "nsl", pt.param("v"), rr.nsl));
+        }
+        return records;
+      },
+      sink);
+  MiniSweepOutput out;
+  out.jsonl = os.str();
+  out.errors = sink.num_errors();
+  PivotStats stats("v", {"MCP", "DCP"});
+  sink.fold("nsl", stats);
+  for (const double v : {20.0, 30.0, 40.0})
+    for (const char* name : {"MCP", "DCP"}) {
+      const StatAccumulator* cell = stats.cell(v, name);
+      out.cells.emplace_back(v, cell ? cell->mean() : -1.0);
+    }
+  return out;
+}
+
+TEST(Engine, IdenticalResultsAtAnyThreadCount) {
+  const MiniSweepOutput serial = run_mini_sweep(1, 42);
+  const MiniSweepOutput parallel = run_mini_sweep(8, 42);
+  EXPECT_EQ(serial.errors, 0u);
+  EXPECT_EQ(parallel.errors, 0u);
+  EXPECT_FALSE(serial.jsonl.empty());
+  EXPECT_EQ(serial.jsonl, parallel.jsonl);  // byte-identical stream
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].first, parallel.cells[i].first);
+    EXPECT_EQ(serial.cells[i].second, parallel.cells[i].second);  // exact
+  }
+}
+
+TEST(Engine, DifferentSeedsChangeResults) {
+  const MiniSweepOutput a = run_mini_sweep(2, 1);
+  const MiniSweepOutput b = run_mini_sweep(2, 2);
+  EXPECT_NE(a.jsonl, b.jsonl);
+}
+
+TEST(Engine, DuplicateJobIndicesAreAProgrammingError) {
+  // Sink rejections are not job errors; run_jobs must refuse to return a
+  // silently incomplete result set.
+  std::vector<Job> jobs(2);
+  for (Job& job : jobs) {
+    job.ctx.index = 0;  // both claim slot 0
+    job.fn = [](const JobContext&) { return std::vector<Record>{}; };
+  }
+  ResultSink sink("dup");
+  EXPECT_THROW(run_jobs(jobs, 2, sink), std::logic_error);
+}
+
+TEST(Engine, ThrowingJobIsReportedNotFatal) {
+  Sweep sweep;
+  sweep.axis("v", {1, 2});
+  ResultSink sink("err");
+  run_sweep(
+      sweep, 7, 2,
+      [](const JobContext&, const SweepPoint& pt) -> std::vector<Record> {
+        if (pt.param("v") == 2) throw std::runtime_error("job exploded");
+        return {};
+      },
+      sink);
+  EXPECT_EQ(sink.num_errors(), 1u);
+  EXPECT_EQ(sink.first_error(), "job exploded");
+  EXPECT_EQ(sink.results().size(), 2u);
+}
+
+}  // namespace
+}  // namespace tgs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <set>
+#include <stdexcept>
 
 #include "tgs/util/cli.h"
 #include "tgs/util/rng.h"
@@ -145,6 +146,51 @@ TEST(Cli, ParsesFlagsAndPositional) {
   ASSERT_EQ(cli.positional().size(), 1u);
   EXPECT_EQ(cli.positional()[0], "input.tgs");
   EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(Cli, RepeatedFlagsCollectIntoList) {
+  const char* argv[] = {"prog", "--algo=MCP", "--algo=DCP,ETF", "--algo=DLS"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_list("algo"),
+            (std::vector<std::string>{"MCP", "DCP", "ETF", "DLS"}));
+  // Scalar accessors see the last occurrence.
+  EXPECT_EQ(cli.get("algo", ""), "DLS");
+  EXPECT_TRUE(cli.get_list("absent").empty());
+}
+
+TEST(Cli, NumericAccessorsRejectTrailingGarbage) {
+  const char* argv[] = {"prog", "--reps=12x", "--ccr=1.5z", "--ok=3"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_THROW(cli.get_int("reps", 0), std::invalid_argument);
+  EXPECT_THROW(cli.get_double("ccr", 0.0), std::invalid_argument);
+  EXPECT_EQ(cli.get_int("ok", 0), 3);
+}
+
+TEST(Cli, GetIntRejectsEmptyAndOverflow) {
+  const char* argv[] = {"prog", "--a=", "--b=99999999999999999999999"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_THROW(cli.get_int("a", 0), std::invalid_argument);
+  EXPECT_THROW(cli.get_int("b", 0), std::invalid_argument);
+}
+
+TEST(Rng, DeriveSeedIsDeterministicAndCollisionFree) {
+  EXPECT_EQ(derive_seed(42, 7), derive_seed(42, 7));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t master : {0ull, 1ull, 42ull})
+    for (std::uint64_t stream = 0; stream < 10000; ++stream)
+      seen.insert(derive_seed(master, stream));
+  EXPECT_EQ(seen.size(), 30000u);
+}
+
+TEST(Rng, DeriveSeedDecorrelatesAdjacentStreams) {
+  // Consecutive streams of one master must not produce the correlated
+  // generators that seed+i would.
+  Rng a(derive_seed(99, 0)), b(derive_seed(99, 1));
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+  EXPECT_NE(derive_seed(5, 1), 5 + 1);
 }
 
 }  // namespace
