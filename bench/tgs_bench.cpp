@@ -1,7 +1,7 @@
 // tgs_bench -- unified driver for the paper's experiments on the parallel
 // execution engine (src/tgs/exec/).
 //
-//   tgs_bench --experiment=table2 [--threads=N] [--seed=S] [--out=FILE]
+//   tgs_bench --experiment=NAME [--threads=N] [--seed=S] [--out=FILE]
 //   tgs_bench --list
 //
 // Every experiment expands into independent jobs (one graph each), runs
@@ -17,458 +17,27 @@
 //   --threads=N         worker threads (default: hardware concurrency)
 //   --seed=S            master seed (default 1998)
 //   --out=FILE          JSONL destination: a path, '-' for stdout, 'none'
-//                       (default bench_results/<experiment>.jsonl)
+//                       (default bench_results/<experiment>.jsonl); a later
+//                       experiment of one invocation appends to an
+//                       explicit FILE instead of truncating it
 //   --algo=A[,B...]     restrict to these algorithms (repeatable)
+//   --no-timing         write wall-clock fields as 0 (reproducible JSONL)
+//   --no-csv            skip the bench_results/*.csv dumps
+//   --quiet             suppress stdout tables
 // Experiment-specific flags are documented in --list.
-#include <algorithm>
+//
+// The experiments themselves live in bench/experiments/ (one translation
+// unit per family); this file only parses flags and dispatches.
 #include <cstdio>
-#include <iostream>
-#include <memory>
-#include <string>
-#include <thread>
-#include <vector>
+#include <exception>
 
-#include "bench_common.h"
-#include "tgs/exec/result_sink.h"
-#include "tgs/exec/sweep.h"
-#include "tgs/gen/rgbos.h"
-#include "tgs/gen/rgnos.h"
-#include "tgs/harness/registry.h"
-#include "tgs/harness/runner.h"
-#include "tgs/net/routing.h"
-#include "tgs/optimal/bb_scheduler.h"
-#include "tgs/sched/metrics.h"
+#include "experiments/experiments.h"
 #include "tgs/util/cli.h"
-#include "tgs/util/rng.h"
-#include "tgs/util/timer.h"
-
-namespace tgs {
-namespace {
-
-struct ExpContext {
-  const Cli* cli = nullptr;
-  std::uint64_t seed = 1998;
-  int threads = 1;
-  // A later experiment of the same invocation appends to an explicit
-  // --out file instead of truncating the earlier experiments' records.
-  bool append_out = false;
-};
-
-/// Registry-order algorithm names, optionally filtered by --algo.
-std::vector<std::string> filtered_names(const Cli& cli,
-                                        std::vector<std::string> names) {
-  const std::vector<std::string> want = cli.get_list("algo");
-  if (want.empty()) return names;
-  std::vector<std::string> out;
-  for (const std::string& n : names)
-    if (std::find(want.begin(), want.end(), n) != want.end()) out.push_back(n);
-  return out;
-}
-
-double num_field(const Record& rec, const std::string& key, double fallback) {
-  for (const auto& [k, v] : rec.num)
-    if (k == key) return v;
-  return fallback;
-}
-
-/// JSONL writer per --out; may return a writer that is disabled (null).
-struct OutStream {
-  std::unique_ptr<JsonlWriter> writer;
-  std::string path;  // empty when stdout or disabled
-  JsonlWriter* get() const { return writer.get(); }
-};
-
-OutStream make_out(const ExpContext& ctx, const std::string& experiment) {
-  const Cli& cli = *ctx.cli;
-  OutStream out;
-  const std::string spec = cli.get("out", "");
-  if (spec == "none") return out;
-  if (spec == "-") {
-    out.writer = std::make_unique<JsonlWriter>(std::cout);
-    return out;
-  }
-  std::string path = spec;
-  bool append = ctx.append_out;
-  if (path.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories("bench_results", ec);
-    path = "bench_results/" + experiment + ".jsonl";
-    append = false;  // per-experiment default files never collide
-  }
-  out.writer = std::make_unique<JsonlWriter>(path, append);
-  if (!out.writer->ok()) {
-    std::fprintf(stderr, "warning: cannot write %s; JSONL disabled\n",
-                 path.c_str());
-    out.writer.reset();
-    return out;
-  }
-  out.path = path;
-  return out;
-}
-
-void report_sink(const ResultSink& sink, const OutStream& out) {
-  if (!out.path.empty()) std::printf("[jsonl: %s]\n", out.path.c_str());
-  if (sink.num_errors() > 0)
-    std::fprintf(stderr, "warning: %zu job(s) failed; first error: %s\n",
-                 sink.num_errors(), sink.first_error().c_str());
-}
-
-// ------------------------------------------------------------ table2/3 ----
-// Degradation from branch-and-bound reference solutions on the RGBOS suite
-// (paper Tables 2 and 3). One job per (CCR, v) graph; the UNC variant runs
-// unbounded, the BNP variant at --procs processors.
-
-void run_table_rgbos(const ExpContext& ctx, bool unc) {
-  const Cli& cli = *ctx.cli;
-  const std::string exp = unc ? "table2" : "table3";
-  const int procs = static_cast<int>(cli.get_int("procs", 2));
-  const std::uint64_t bb_nodes =
-      static_cast<std::uint64_t>(cli.get_int("bb-nodes", 250'000));
-  const std::vector<std::string> names =
-      filtered_names(cli, unc ? unc_names() : bnp_names());
-
-  Sweep sweep;
-  sweep.axis("ccr", {kRgbosCcrs[0], kRgbosCcrs[1], kRgbosCcrs[2]});
-  std::vector<double> sizes;
-  for (NodeId v = kRgbosMinNodes; v <= kRgbosMaxNodes; v += kRgbosStep)
-    sizes.push_back(v);
-  sweep.axis("v", sizes);
-
-  OutStream out = make_out(ctx, exp);
-  ResultSink sink(exp, out.get());
-
-  const auto job = [&](const JobContext& jc, const SweepPoint& pt) {
-    const double ccr = pt.param("ccr");
-    const NodeId v = static_cast<NodeId>(pt.param("v"));
-    // RGBOS is a fixed suite keyed by the master seed (paper §5.2); the
-    // per-job stream is not used because the suite has no replications.
-    const TaskGraph g = rgbos_graph(ccr, v, jc.master_seed);
-    const std::string pivot = "ccr" + Table::fmt(ccr, 1);
-
-    SchedOptions opt;
-    if (!unc) opt.num_procs = procs;
-    std::vector<RunResult> runs;
-    int ref_procs = procs;
-    Time best_heur = kTimeInf;
-    for (const std::string& name : names) {
-      runs.push_back(run_scheduler(*make_scheduler(name), g, opt));
-      ref_procs = std::max(ref_procs, runs.back().procs_used);
-      best_heur = std::min(best_heur, runs.back().length);
-    }
-
-    BBOptions bb;
-    bb.num_procs = unc ? ref_procs : procs;
-    bb.time_limit_seconds = 0.0;  // wall clock would break reproducibility
-    bb.max_nodes = bb_nodes;
-    bb.num_threads = 1;  // jobs are the parallelism; keeps B&B deterministic
-    bb.initial_upper_bound = best_heur;
-    const BBResult bbr = branch_and_bound(g, bb);
-    const Time reference =
-        bbr.schedule ? (unc ? std::min(bbr.length, best_heur) : bbr.length)
-                     : best_heur;
-
-    std::vector<Record> records;
-    for (const RunResult& rr : runs) {
-      const double deg = percent_degradation(rr.length, reference);
-      records.push_back(record_from_run(rr, pivot, v, deg));
-    }
-    Record ref;
-    ref.pivot = pivot;
-    ref.row = v;
-    ref.column = "optimal";
-    ref.value = static_cast<double>(reference);
-    ref.num.emplace_back("proven", bbr.proven_optimal ? 1.0 : 0.0);
-    ref.num.emplace_back("bb_nodes", static_cast<double>(bbr.nodes_expanded));
-    records.push_back(std::move(ref));
-    return records;
-  };
-  run_sweep(sweep, ctx.seed, ctx.threads, job, sink);
-
-  std::printf("RGBOS / %s: seed=%llu, p=%d, B&B budget=%llu nodes, %d "
-              "worker threads\n\n",
-              unc ? "UNC" : "BNP", static_cast<unsigned long long>(ctx.seed),
-              procs, static_cast<unsigned long long>(bb_nodes), ctx.threads);
-  std::vector<std::string> columns = names;
-  columns.push_back("optimal");
-  for (const double ccr : kRgbosCcrs) {
-    const std::string pivot = "ccr" + Table::fmt(ccr, 1);
-    PivotStats stats("v", columns);
-    sink.fold(pivot, stats);
-    bench::emit(exp + "_" + pivot,
-                (unc ? "Table 2" : "Table 3") +
-                    std::string(": % degradation from optimal, CCR=") +
-                    Table::fmt(ccr, 1),
-                stats.render(1));
-  }
-
-  // Paper-style footer: optimal hits and average degradation per algorithm.
-  std::map<std::string, StatAccumulator> degs;
-  std::map<std::string, int> hits;
-  int proven = 0, instances = 0;
-  for (const JobResult& jr : sink.results()) {
-    for (const Record& rec : jr.records) {
-      if (rec.column == "optimal") {
-        ++instances;
-        if (num_field(rec, "proven", 0.0) > 0.0) ++proven;
-      } else {
-        degs[rec.column].add(rec.value);
-        if (rec.value == 0.0) ++hits[rec.column];
-      }
-    }
-  }
-  Table summary({"algo", "#opt", "avg % degradation"});
-  for (const std::string& name : names)
-    summary.add_row({name, Table::fmt_int(hits[name]),
-                     Table::fmt(degs[name].mean(), 1)});
-  bench::emit(exp + "_summary",
-              "References proven optimal: " + Table::fmt_int(proven) + "/" +
-                  Table::fmt_int(instances),
-              summary);
-  report_sink(sink, out);
-}
-
-void run_table2(const ExpContext& ctx) { run_table_rgbos(ctx, /*unc=*/true); }
-void run_table3(const ExpContext& ctx) { run_table_rgbos(ctx, /*unc=*/false); }
-
-// ---------------------------------------------------------------- fig2 ----
-// Average NSL of the UNC / BNP / APN algorithms on RGNOS graphs as a
-// function of graph size (paper Figure 2). One job per (v, (CCR,
-// parallelism)) graph; each graph is drawn from its own derived RNG
-// stream, so grid cells and replications never share a seed.
-
-void run_fig2(const ExpContext& ctx) {
-  const Cli& cli = *ctx.cli;
-  const NodeId max_nodes = static_cast<NodeId>(cli.get_int("max-nodes", 500));
-  const NodeId apn_max = static_cast<NodeId>(
-      cli.get_int("apn-max-nodes", static_cast<std::int64_t>(max_nodes)));
-  const auto reps = bench::rgnos_reps(cli.has("full"));
-  const std::vector<std::string> unc_n = filtered_names(cli, unc_names());
-  const std::vector<std::string> bnp_n = filtered_names(cli, bnp_names());
-  const std::vector<std::string> apn_n = filtered_names(cli, apn_names());
-
-  Sweep sweep;
-  std::vector<double> sizes;
-  for (NodeId v = 50; v <= max_nodes; v += 50) sizes.push_back(v);
-  std::vector<double> grid;
-  for (std::size_t i = 0; i < reps.size(); ++i) grid.push_back(i);
-  sweep.axis("v", sizes).axis("grid", grid);
-
-  OutStream out = make_out(ctx, "fig2");
-  ResultSink sink("fig2", out.get());
-  const RoutingTable routes{Topology::hypercube(3)};
-
-  const auto job = [&](const JobContext& jc, const SweepPoint& pt) {
-    const NodeId v = static_cast<NodeId>(pt.param("v"));
-    const auto& [ccr, par] = reps[static_cast<std::size_t>(pt.param("grid"))];
-    RgnosParams params;
-    params.num_nodes = v;
-    params.ccr = ccr;
-    params.parallelism = par;
-    params.seed = jc.seed;
-    const TaskGraph g = rgnos_graph(params);
-
-    std::vector<Record> records;
-    const auto tag = [&](Record rec) {
-      rec.num.emplace_back("ccr", ccr);
-      rec.num.emplace_back("parallelism", par);
-      records.push_back(std::move(rec));
-    };
-    for (const std::string& name : unc_n)
-      tag(record_from_run(run_scheduler(*make_scheduler(name), g, {}), "fig2a",
-                          v, 0.0));
-    for (const std::string& name : bnp_n)
-      tag(record_from_run(run_scheduler(*make_scheduler(name), g, {}), "fig2b",
-                          v, 0.0));
-    if (v <= apn_max)
-      for (const std::string& name : apn_n)
-        tag(record_from_run(run_apn_scheduler(*make_apn_scheduler(name), g, routes),
-                            "fig2c", v, 0.0));
-    for (Record& rec : records) rec.value = num_field(rec, "nsl", 0.0);
-    return records;
-  };
-  run_sweep(sweep, ctx.seed, ctx.threads, job, sink);
-
-  std::printf("RGNOS NSL sweep: seed=%llu, %zu graphs per size, %d worker "
-              "threads; APN on hcube3 (8 procs)\n\n",
-              static_cast<unsigned long long>(ctx.seed), reps.size(),
-              ctx.threads);
-  const auto render = [&](const std::string& pivot,
-                          const std::vector<std::string>& cols,
-                          const std::string& title) {
-    if (cols.empty()) return;
-    PivotStats stats("v", cols);
-    sink.fold(pivot, stats);
-    bench::emit("tgs_bench_" + pivot, title, stats.render(3));
-  };
-  render("fig2a", unc_n, "Figure 2(a): average NSL, UNC algorithms");
-  render("fig2b", bnp_n, "Figure 2(b): average NSL, BNP algorithms");
-  render("fig2c", apn_n, "Figure 2(c): average NSL, APN algorithms");
-  report_sink(sink, out);
-}
-
-// --------------------------------------------------------------- micro ----
-// Per-call scheduling time of every algorithm on fixed RGNOS graphs
-// (complements paper Table 6). One job per (algorithm, size): a warm-up
-// run, then --reps timed runs; the cell reports the minimum. Timings are
-// wall clock, so unlike the accuracy experiments this one's JSONL is only
-// reproducible in its deterministic fields (length, procs).
-
-void run_micro(const ExpContext& ctx) {
-  const Cli& cli = *ctx.cli;
-  const int reps = static_cast<int>(cli.get_int("reps", 5));
-
-  struct Algo {
-    enum Kind { kSched, kApn } kind;
-    std::string name;   // registry name
-    std::string label;  // pivot column (APN DLS disambiguated)
-  };
-  std::vector<Algo> algos;
-  for (const std::string& n : filtered_names(cli, bnp_names()))
-    algos.push_back({Algo::kSched, n, n});
-  for (const std::string& n : filtered_names(cli, unc_names()))
-    algos.push_back({Algo::kSched, n, n});
-  for (const std::string& n : filtered_names(cli, apn_names()))
-    algos.push_back({Algo::kApn, n, n == "DLS" ? "DLS-APN" : n});
-
-  Sweep sweep;
-  std::vector<double> indices;
-  for (std::size_t i = 0; i < algos.size(); ++i) indices.push_back(i);
-  sweep.axis("v", {100, 300}).axis("algo", indices);
-
-  OutStream out = make_out(ctx, "micro_algorithms");
-  ResultSink sink("micro_algorithms", out.get());
-  const RoutingTable routes{Topology::hypercube(3)};
-
-  const auto job = [&](const JobContext& jc, const SweepPoint& pt) {
-    const NodeId v = static_cast<NodeId>(pt.param("v"));
-    const Algo& algo = algos[static_cast<std::size_t>(pt.param("algo"))];
-    std::vector<Record> records;
-    // APN message scheduling is quadratic-plus; measure at v=100 only, as
-    // the google-benchmark micro suite does.
-    if (algo.kind == Algo::kApn && v != 100) return records;
-
-    RgnosParams params;
-    params.num_nodes = v;
-    params.ccr = 1.0;
-    params.parallelism = 3;
-    params.seed = derive_seed(jc.master_seed, v);  // same graph for all algos
-    const TaskGraph g = rgnos_graph(params);
-
-    RunResult rr;
-    double best_ms = 0.0, sum_ms = 0.0;
-    for (int i = -1; i < reps; ++i) {  // i == -1 is the warm-up
-      const RunResult sample =
-          algo.kind == Algo::kApn
-              ? run_apn_scheduler(*make_apn_scheduler(algo.name), g, routes)
-              : run_scheduler(*make_scheduler(algo.name), g, {});
-      if (i < 0) {
-        rr = sample;
-        continue;
-      }
-      const double ms = sample.seconds * 1e3;
-      best_ms = i == 0 ? ms : std::min(best_ms, ms);
-      sum_ms += ms;
-    }
-    rr.algo = algo.label;
-    Record rec = record_from_run(rr, "micro", v, best_ms);
-    rec.num.emplace_back("mean_ms", sum_ms / reps);
-    rec.num.emplace_back("reps", reps);
-    records.push_back(std::move(rec));
-    return records;
-  };
-  run_sweep(sweep, ctx.seed, ctx.threads, job, sink);
-
-  std::printf("Scheduling-time micro benchmark: seed=%llu, best of %d runs "
-              "per cell (ms), %d worker threads\n\n",
-              static_cast<unsigned long long>(ctx.seed), reps, ctx.threads);
-  std::vector<std::string> columns;
-  for (const Algo& a : algos) columns.push_back(a.label);
-  PivotStats stats("v", columns);
-  sink.fold("micro", stats);
-  bench::emit("tgs_bench_micro", "Scheduling time per call (ms, min of reps)",
-              stats.render(3));
-  report_sink(sink, out);
-}
-
-// ------------------------------------------------------------- registry ---
-
-struct ExperimentDef {
-  const char* name;
-  const char* alias;  // legacy bench-binary name ("" = none)
-  const char* description;
-  void (*run)(const ExpContext&);
-};
-
-constexpr ExperimentDef kExperiments[] = {
-    {"table2", "table2_rgbos_unc",
-     "UNC %-degradation from B&B optima on RGBOS "
-     "[--procs, --bb-nodes]",
-     run_table2},
-    {"table3", "table3_rgbos_bnp",
-     "BNP %-degradation from B&B optima on RGBOS "
-     "[--procs, --bb-nodes]",
-     run_table3},
-    {"fig2", "fig2_nsl_rgnos",
-     "average NSL vs graph size on RGNOS, UNC/BNP/APN "
-     "[--max-nodes, --apn-max-nodes, --full]",
-     run_fig2},
-    {"micro", "micro_algorithms",
-     "per-call scheduling time of every algorithm "
-     "[--reps]",
-     run_micro},
-};
-
-void print_experiments() {
-  std::printf("experiments:\n");
-  for (const ExperimentDef& e : kExperiments)
-    std::printf("  %-8s %s\n", e.name, e.description);
-  std::printf("\nshared flags: --experiment --threads --seed --out --algo "
-              "(see header comment)\n");
-}
-
-}  // namespace
-}  // namespace tgs
 
 int main(int argc, char** argv) {
-  using namespace tgs;
   try {
-    const Cli cli(argc, argv);
-    if (cli.has("list")) {
-      print_experiments();
-      return 0;
-    }
-
-    std::vector<std::string> wanted = cli.get_list("experiment");
-    for (const std::string& p : cli.positional()) wanted.push_back(p);
-    if (wanted.empty()) {
-      std::fprintf(stderr,
-                   "usage: %s --experiment=NAME [flags] (--list for help)\n",
-                   cli.program().c_str());
-      return 2;
-    }
-
-    ExpContext ctx;
-    ctx.cli = &cli;
-    ctx.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1998));
-    int threads = static_cast<int>(cli.get_int("threads", 0));
-    if (threads <= 0)
-      threads = std::max(1u, std::thread::hardware_concurrency());
-    ctx.threads = threads;
-
-    for (std::size_t i = 0; i < wanted.size(); ++i) {
-      const std::string& name = wanted[i];
-      const ExperimentDef* def = nullptr;
-      for (const ExperimentDef& e : kExperiments)
-        if (name == e.name || name == e.alias) def = &e;
-      if (def == nullptr) {
-        std::fprintf(stderr, "unknown experiment '%s'\n\n", name.c_str());
-        print_experiments();
-        return 2;
-      }
-      ctx.append_out = i > 0;
-      def->run(ctx);
-    }
-    return 0;
+    const tgs::Cli cli(argc, argv);
+    return tgs::bench::run_cli(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -14,8 +14,26 @@ double SweepPoint::param(const std::string& name) const {
   throw std::invalid_argument("SweepPoint: no axis named '" + name + "'");
 }
 
+const std::string& SweepPoint::label(const std::string& name) const {
+  for (const auto& [k, v] : labels)
+    if (k == name) return v;
+  throw std::invalid_argument("SweepPoint: no labelled axis named '" + name +
+                              "'");
+}
+
 Sweep& Sweep::axis(std::string name, std::vector<double> values) {
-  axes_.emplace_back(std::move(name), std::move(values));
+  axes_.push_back({std::move(name), std::move(values), {}});
+  return *this;
+}
+
+Sweep& Sweep::axis(std::string name, std::vector<double> values,
+                   std::vector<std::string> labels) {
+  if (labels.size() != values.size())
+    throw std::invalid_argument("Sweep: axis '" + name + "' has " +
+                                std::to_string(values.size()) +
+                                " values but " + std::to_string(labels.size()) +
+                                " labels");
+  axes_.push_back({std::move(name), std::move(values), std::move(labels)});
   return *this;
 }
 
@@ -26,7 +44,7 @@ Sweep& Sweep::replications(int n) {
 
 std::size_t Sweep::size() const {
   std::size_t n = static_cast<std::size_t>(reps_);
-  for (const auto& [name, values] : axes_) n *= values.size();
+  for (const Axis& a : axes_) n *= a.values.size();
   return n;
 }
 
@@ -38,8 +56,8 @@ std::vector<SweepPoint> Sweep::expand() const {
   // final axis keeps earlier points' indices (and seeds) stable.
   std::vector<std::size_t> digit(axes_.size(), 0);
   const auto exhausted = [&] {
-    for (const auto& [name, values] : axes_)
-      if (values.empty()) return true;
+    for (const Axis& a : axes_)
+      if (a.values.empty()) return true;
     return false;
   }();
   std::uint64_t index = 0;
@@ -50,13 +68,16 @@ std::vector<SweepPoint> Sweep::expand() const {
       p.index = index++;
       p.replication = rep;
       p.params.reserve(axes_.size());
-      for (std::size_t a = 0; a < axes_.size(); ++a)
-        p.params.emplace_back(axes_[a].first, axes_[a].second[digit[a]]);
+      for (std::size_t a = 0; a < axes_.size(); ++a) {
+        p.params.emplace_back(axes_[a].name, axes_[a].values[digit[a]]);
+        if (!axes_[a].labels.empty())
+          p.labels.emplace_back(axes_[a].name, axes_[a].labels[digit[a]]);
+      }
       points.push_back(std::move(p));
     }
     done = true;
     for (std::size_t a = axes_.size(); a-- > 0;) {
-      if (++digit[a] < axes_[a].second.size()) {
+      if (++digit[a] < axes_[a].values.size()) {
         done = false;
         break;
       }

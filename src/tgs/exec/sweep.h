@@ -29,15 +29,27 @@ struct SweepPoint {
   std::uint64_t index = 0;
   int replication = 0;
   std::vector<std::pair<std::string, double>> params;  // axis order
+  std::vector<std::pair<std::string, std::string>> labels;  // labelled axes
 
   /// Value of axis `name`; throws std::invalid_argument when absent.
   double param(const std::string& name) const;
+
+  /// Label of labelled axis `name`; throws std::invalid_argument when the
+  /// axis is absent or unlabelled.
+  const std::string& label(const std::string& name) const;
 };
 
 class Sweep {
  public:
   /// Append an axis. Expansion order is row-major in declaration order.
   Sweep& axis(std::string name, std::vector<double> values);
+
+  /// Append a labelled axis: values[i] is the numeric grid key (pivot row,
+  /// seed pairing) and labels[i] its display name -- e.g. machine
+  /// topologies keyed by link count, or algorithms keyed by registry
+  /// index. Sizes must match (std::invalid_argument otherwise).
+  Sweep& axis(std::string name, std::vector<double> values,
+              std::vector<std::string> labels);
 
   /// Independent repetitions per grid cell (default 1, clamped to >= 1).
   Sweep& replications(int n);
@@ -48,7 +60,12 @@ class Sweep {
   std::vector<SweepPoint> expand() const;
 
  private:
-  std::vector<std::pair<std::string, std::vector<double>>> axes_;
+  struct Axis {
+    std::string name;
+    std::vector<double> values;
+    std::vector<std::string> labels;  // empty, or one per value
+  };
+  std::vector<Axis> axes_;
   int reps_ = 1;
 };
 

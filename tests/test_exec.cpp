@@ -115,6 +115,25 @@ TEST(Sweep, DerivedSeedsAreDistinctPerJob) {
   EXPECT_EQ(seeds.size(), 200u);
 }
 
+TEST(Sweep, LabelledAxisExposesLabels) {
+  Sweep sweep;
+  sweep.axis("machine", {8, 12}, {"ring8", "hcube3"}).axis("i", {0, 1, 2});
+  const auto points = sweep.expand();
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[0].label("machine"), "ring8");
+  EXPECT_EQ(points[0].param("machine"), 8);
+  EXPECT_EQ(points[3].label("machine"), "hcube3");
+  EXPECT_EQ(points[3].param("machine"), 12);
+  // "i" is unlabelled; asking for its label is an error.
+  EXPECT_THROW(points[0].label("i"), std::invalid_argument);
+  EXPECT_THROW(points[0].label("missing"), std::invalid_argument);
+}
+
+TEST(Sweep, LabelledAxisSizeMismatchThrows) {
+  Sweep sweep;
+  EXPECT_THROW(sweep.axis("m", {1, 2, 3}, {"a", "b"}), std::invalid_argument);
+}
+
 TEST(Jsonl, EscapingAndShortestDoubles) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(json_double(10.0), "10");
@@ -150,6 +169,88 @@ TEST(ResultSink, StreamsInJobOrderRegardlessOfArrival) {
   EXPECT_LT(pos_a, pos_b);
   EXPECT_LT(pos_b, pos_c);
   EXPECT_THROW(sink.submit(result(0, "late")), std::logic_error);
+}
+
+// -------------------------- adversarial completion-order reorder tests ----
+
+JobResult one_record_result(std::uint64_t index) {
+  JobResult r;
+  r.index = index;
+  Record rec;
+  rec.pivot = "p";
+  rec.row = static_cast<double>(index);
+  rec.column = "col" + std::to_string(index);
+  rec.value = static_cast<double>(index) * 1.5;
+  r.records.push_back(std::move(rec));
+  return r;
+}
+
+std::string sink_bytes_for_order(const std::vector<std::uint64_t>& order) {
+  std::ostringstream os;
+  JsonlWriter writer(os);
+  ResultSink sink("adv", &writer);
+  sink.start(order.size());
+  for (const std::uint64_t index : order)
+    sink.submit(one_record_result(index));
+  sink.finish();
+  return os.str();
+}
+
+TEST(ResultSink, ReverseCompletionOrderBuffersEverythingThenStreams) {
+  // Worst case for the reorder buffer: job 0 arrives last, so nothing may
+  // be written until the very end -- and then everything, in job order.
+  const std::size_t n = 64;
+  std::ostringstream os;
+  JsonlWriter writer(os);
+  ResultSink sink("adv", &writer);
+  sink.start(n);
+  for (std::uint64_t index = n; index-- > 1;) {
+    sink.submit(one_record_result(index));
+    EXPECT_EQ(os.str(), "") << "leaked output while job 0 outstanding";
+  }
+  sink.submit(one_record_result(0));  // fills the gap: full flush
+  sink.finish();
+
+  std::vector<std::uint64_t> in_order(n);
+  for (std::uint64_t i = 0; i < n; ++i) in_order[i] = i;
+  EXPECT_EQ(os.str(), sink_bytes_for_order(in_order));
+}
+
+TEST(ResultSink, RandomCompletionOrderIsByteIdenticalToSerial) {
+  const std::size_t n = 97;
+  std::vector<std::uint64_t> in_order(n), shuffled(n);
+  for (std::uint64_t i = 0; i < n; ++i) in_order[i] = shuffled[i] = i;
+  // Deterministic Fisher-Yates on a fixed LCG, so the adversarial order is
+  // reproducible run to run.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = n; i-- > 1;) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    std::swap(shuffled[i], shuffled[(state >> 33) % (i + 1)]);
+  }
+  EXPECT_NE(shuffled, in_order);
+  EXPECT_EQ(sink_bytes_for_order(shuffled), sink_bytes_for_order(in_order));
+}
+
+TEST(ResultSink, InterleavedGapsFlushExactlyTheCompletedPrefix) {
+  std::ostringstream os;
+  JsonlWriter writer(os);
+  ResultSink sink("adv", &writer);
+  sink.start(5);
+  sink.submit(one_record_result(1));
+  sink.submit(one_record_result(3));
+  EXPECT_EQ(os.str(), "");  // job 0 missing: nothing flushed
+  sink.submit(one_record_result(0));
+  std::string text = os.str();  // prefix 0..1 flushed, 2 still blocks 3
+  EXPECT_NE(text.find("\"col0\""), std::string::npos);
+  EXPECT_NE(text.find("\"col1\""), std::string::npos);
+  EXPECT_EQ(text.find("\"col3\""), std::string::npos);
+  sink.submit(one_record_result(2));
+  text = os.str();  // 2 unblocks 3
+  EXPECT_NE(text.find("\"col3\""), std::string::npos);
+  EXPECT_EQ(text.find("\"col4\""), std::string::npos);
+  sink.submit(one_record_result(4));
+  sink.finish();
+  EXPECT_NE(os.str().find("\"col4\""), std::string::npos);
 }
 
 TEST(ResultSink, RejectsBadIndices) {

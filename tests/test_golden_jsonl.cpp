@@ -1,0 +1,201 @@
+// Golden JSONL regression tests: one tiny, fully deterministic
+// configuration per experiment family, compared field-by-field against
+// the committed snapshots under tests/golden/. A schema change (field
+// added, renamed, reordered) or a metric drift (an algorithm silently
+// scheduling differently, a generator drawing different graphs) fails
+// tier-1 here instead of silently corrupting downstream results.
+//
+// These snapshots pin THIS repository's deterministic behaviour, not
+// paper numbers. To regenerate after a deliberate change:
+//
+//   TGS_UPDATE_GOLDEN=1 ./test_golden_jsonl
+//
+// and commit the rewritten files together with the change that explains
+// them. Builds pass -ffp-contract=off, so the doubles in these files are
+// identical across GCC and Clang.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiments/experiments.h"
+#include "tgs/util/cli.h"
+
+#ifndef TGS_GOLDEN_DIR
+#error "TGS_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace tgs::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct GoldenCase {
+  std::string family;
+  std::string file;  // under tests/golden/
+  std::vector<std::string> args;
+};
+
+// Fixed seed, 2 worker threads (byte-identical to 1 by the determinism
+// guarantee), --no-timing wherever a wall clock could leak in.
+const std::vector<GoldenCase>& golden_cases() {
+  static const std::vector<GoldenCase> cases{
+      {"psg", "table1.jsonl",
+       {"--experiment=table1", "--algo=MCP,DCP"}},
+      {"rgbos", "table2.jsonl",
+       {"--experiment=table2", "--max-v=12", "--bb-nodes=200",
+        "--algo=DCP"}},
+      {"rgpos", "table4.jsonl",
+       {"--experiment=table4", "--max-v=50", "--algo=DCP"}},
+      {"rgnos", "fig2.jsonl",
+       {"--experiment=fig2", "--max-nodes=50", "--algo=DCP,MCP,BSA"}},
+      {"traced", "fig4.jsonl",
+       {"--experiment=fig4", "--max-dim=8", "--algo=DCP,MCP,BSA"}},
+      {"ablations", "ablate_insertion.jsonl",
+       {"--experiment=ablate_insertion", "--graphs=1", "--nodes=40"}},
+      {"runtimes", "table6.jsonl",
+       {"--experiment=table6", "--max-nodes=50", "--no-timing",
+        "--algo=MCP,DCP"}},
+  };
+  return cases;
+}
+
+std::string run_case(const GoldenCase& gc) {
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("tgs_golden_" + gc.file + "_" +
+       std::to_string(static_cast<unsigned long>(::getpid())));
+  std::vector<std::string> args = gc.args;
+  args.insert(args.begin(), "tgs_bench");
+  args.push_back("--seed=7");
+  args.push_back("--threads=2");
+  args.push_back("--out=" + path.string());
+  args.push_back("--quiet");
+  args.push_back("--no-csv");
+  std::vector<char*> argv;
+  for (std::string& a : args) argv.push_back(a.data());
+  const Cli cli(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(run_cli(cli), 0) << gc.file;
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  std::error_code ec;
+  fs::remove(path, ec);
+  return os.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  for (std::string line; std::getline(is, line);)
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+/// Minimal parser for the flat JSONL objects the sink emits: returns the
+/// (key, raw value token) pairs in serialization order. Raw tokens keep
+/// string quotes, so "1" and 1 compare as different -- a type change is
+/// schema drift too.
+std::vector<std::pair<std::string, std::string>> parse_flat(
+    const std::string& line) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::size_t i = 0;
+  const auto fail = [&](const std::string& why) {
+    ADD_FAILURE() << "malformed JSONL at byte " << i << " (" << why
+                  << "): " << line;
+    return fields;
+  };
+  if (line.empty() || line.front() != '{' || line.back() != '}')
+    return fail("not an object");
+  i = 1;
+  while (i < line.size() - 1) {
+    if (line[i] == ',') ++i;
+    if (line[i] != '"') return fail("expected key quote");
+    std::size_t end = i + 1;
+    while (end < line.size() && line[end] != '"')
+      end += line[end] == '\\' ? 2 : 1;
+    const std::string key = line.substr(i + 1, end - i - 1);
+    i = end + 1;
+    if (i >= line.size() || line[i] != ':') return fail("expected ':'");
+    ++i;
+    std::size_t vstart = i;
+    if (line[i] == '"') {
+      ++i;
+      while (i < line.size() && line[i] != '"')
+        i += line[i] == '\\' ? 2 : 1;
+      ++i;
+    } else {
+      while (i < line.size() - 1 && line[i] != ',') ++i;
+    }
+    fields.emplace_back(key, line.substr(vstart, i - vstart));
+  }
+  return fields;
+}
+
+void compare_field_by_field(const std::string& file,
+                            const std::string& expected,
+                            const std::string& actual) {
+  const auto exp_lines = split_lines(expected);
+  const auto act_lines = split_lines(actual);
+  ASSERT_EQ(exp_lines.size(), act_lines.size())
+      << file << ": record count drifted";
+  for (std::size_t i = 0; i < exp_lines.size(); ++i) {
+    const auto exp = parse_flat(exp_lines[i]);
+    const auto act = parse_flat(act_lines[i]);
+    ASSERT_EQ(exp.size(), act.size())
+        << file << " line " << i + 1 << ": field count drifted\n  expected: "
+        << exp_lines[i] << "\n  actual:   " << act_lines[i];
+    for (std::size_t f = 0; f < exp.size(); ++f) {
+      EXPECT_EQ(exp[f].first, act[f].first)
+          << file << " line " << i + 1 << " field " << f + 1
+          << ": schema drift (key order or name)";
+      EXPECT_EQ(exp[f].second, act[f].second)
+          << file << " line " << i + 1 << " field '" << exp[f].first
+          << "': value drifted";
+    }
+  }
+}
+
+TEST(GoldenJsonl, EveryFamilyMatchesItsSnapshot) {
+  const fs::path dir{TGS_GOLDEN_DIR};
+  const bool update = std::getenv("TGS_UPDATE_GOLDEN") != nullptr;
+  for (const GoldenCase& gc : golden_cases()) {
+    SCOPED_TRACE(gc.family + " (" + gc.file + ")");
+    const std::string actual = run_case(gc);
+    ASSERT_FALSE(actual.empty());
+    const fs::path golden = dir / gc.file;
+    if (update) {
+      std::ofstream out(golden, std::ios::binary);
+      out << actual;
+      ASSERT_TRUE(out.good()) << "cannot update " << golden;
+      continue;
+    }
+    ASSERT_TRUE(fs::exists(golden))
+        << golden << " missing; run TGS_UPDATE_GOLDEN=1 ./test_golden_jsonl";
+    std::ifstream in(golden, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    compare_field_by_field(gc.file, os.str(), actual);
+  }
+}
+
+TEST(GoldenJsonl, ParserRoundTripsRepresentativeLine) {
+  const auto fields = parse_flat(
+      R"({"experiment":"t","job":3,"column":"a\"b","value":1.5,"valid":1})");
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], (std::pair<std::string, std::string>{"experiment",
+                                                            "\"t\""}));
+  EXPECT_EQ(fields[1].second, "3");
+  EXPECT_EQ(fields[2].second, "\"a\\\"b\"");
+  EXPECT_EQ(fields[3].second, "1.5");
+  EXPECT_EQ(fields[4].second, "1");
+}
+
+}  // namespace
+}  // namespace tgs::bench
