@@ -1,4 +1,4 @@
-// Parallel branch-and-bound optimal scheduler.
+// Deterministic parallel branch-and-bound optimal scheduler.
 //
 // The paper's RGBOS suite (§5.2) consists of random graphs "for which we
 // have obtained optimal solutions using a branch-and-bound algorithm"
@@ -13,20 +13,29 @@
 // the searched space of "insertion-greedy" schedules contains an optimum.
 //
 // Pruning:
-//  * lower bounds from optimal/lower_bounds.h against a shared incumbent,
+//  * lower bounds from optimal/lower_bounds.h against the incumbent,
 //  * processor symmetry: among empty processors only the lowest-numbered
 //    one is branched,
 //  * child ordering: tasks by descending comm-free static level, then
 //    processors by ascending start time -- promising branches first, which
 //    tightens the incumbent early.
 //
-// Parallelism (the paper used a parallel A* on multiprocessors): the tree
-// is expanded breadth-first until a frontier of a few hundred states
-// exists, which worker threads then drain, each running sequential DFS
-// with a shared atomic incumbent.
+// Parallelism and determinism (round-synchronous search): the tree is
+// split breadth-first into a FIXED number of independent subtrees --
+// independent of num_threads -- which are then explored in rounds. Within
+// a round every subtree prunes against an immutable incumbent snapshot
+// taken at the round start (plus its own local discoveries); there are no
+// live shared-bound reads. At the round barrier the per-subtree outcomes
+// (best schedule, node count, budget spend) are merged in frontier-index
+// order, the incumbent tightens, and unexhausted subtrees continue with
+// the next slice of a deterministic node-budget ledger. Each subtree's
+// round is a pure function of (prefix, snapshot bound, budget slice), so
+// schedule, length, proven_optimal and nodes_expanded are byte-identical
+// at num_threads == 1 and num_threads == N. The only escape hatch is
+// time_limit_seconds > 0, which by nature cuts the search at a
+// wall-clock-dependent point.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -38,25 +47,41 @@ namespace tgs {
 struct BBOptions {
   int num_procs = 2;
   /// Wall-clock budget; expiry returns the best schedule found so far with
-  /// proven_optimal = false. <= 0 means no limit.
+  /// proven_optimal = false. <= 0 means no limit. A wall-clock cut-off is
+  /// inherently not reproducible; use max_nodes for deterministic budgets.
   double time_limit_seconds = 10.0;
   /// Deterministic budget: stop after this many node expansions (0 = no
-  /// limit). Unlike the wall-clock limit, equal budgets reproduce the same
-  /// search on any machine when num_threads == 1, which the experiment
-  /// engine relies on for bit-identical sweeps.
+  /// limit). The budget is rationed to the search subtrees through a
+  /// per-round ledger, so equal budgets reproduce the same search -- same
+  /// schedule, length and nodes_expanded -- on any machine and at any
+  /// num_threads.
   std::uint64_t max_nodes = 0;
-  /// 0 = std::thread::hardware_concurrency().
+  /// Worker threads draining the subtree rounds; 0 =
+  /// std::thread::hardware_concurrency(). Execution width only: the result
+  /// is byte-identical for every value (see the round model above).
   int num_threads = 0;
-  /// Optional incumbent (e.g., the best heuristic length) to prune against
-  /// from the start; the result is never worse than this bound's schedule
-  /// if one is also supplied via `initial_schedule`.
+  /// Optional incumbent length (e.g. the best heuristic length) to prune
+  /// against from the start. When the bound prunes the entire tree, the
+  /// result reports this value as `length` (never 0 for a non-empty
+  /// graph); supply `initial_schedule` as well to always get a schedule
+  /// back.
   Time initial_upper_bound = 0;  // 0 = none
+  /// Optional incumbent schedule (e.g. the best heuristic's). Seeds the
+  /// search, guaranteeing result.schedule is present and never worse than
+  /// this schedule, even under a tiny node budget.
+  std::optional<Schedule> initial_schedule;
   /// Disable lower-bound pruning (exhaustive enumeration; tests only).
   bool disable_bounds = false;
 };
 
 struct BBResult {
-  std::optional<Schedule> schedule;  // empty only for empty graphs
+  /// Best schedule found. Empty only for empty graphs, for budgets too
+  /// small to complete any schedule, or when initial_upper_bound pruned
+  /// the whole tree -- never empty when initial_schedule was supplied.
+  std::optional<Schedule> schedule;
+  /// schedule->makespan() when a schedule is present; otherwise
+  /// initial_upper_bound (the proven "no better than" value) when one was
+  /// given, else 0.
   Time length = 0;
   bool proven_optimal = false;
   std::uint64_t nodes_expanded = 0;
@@ -64,7 +89,7 @@ struct BBResult {
 };
 
 /// Find a provably optimal schedule of `g` on opt.num_procs processors (or
-/// the best found within the time budget).
+/// the best found within the time/node budget).
 BBResult branch_and_bound(const TaskGraph& g, const BBOptions& opt);
 
 }  // namespace tgs

@@ -15,25 +15,28 @@ LowerBounds::LowerBounds(const TaskGraph& g, int num_procs)
   est_.resize(g.num_nodes());
 }
 
-Time LowerBounds::evaluate(const Schedule& s) const {
+Time LowerBounds::evaluate(const Schedule& s,
+                           std::vector<Time>& est_scratch) const {
   const TaskGraph& g = *graph_;
+  std::vector<Time>& est = est_scratch;
+  est.resize(g.num_nodes());
 
   // Critical-path bound with pinned placements.
   Time cp_bound = 0;
   for (NodeId u : g.topological_order()) {
     if (s.is_placed(u)) {
-      est_[u] = s.start(u);
+      est[u] = s.start(u);
     } else {
       Time t = 0;
       for (const Adj& par : g.parents(u)) {
         const Time avail = s.is_placed(par.node)
                                ? s.finish(par.node)
-                               : est_[par.node] + g.weight(par.node);
+                               : est[par.node] + g.weight(par.node);
         t = std::max(t, avail);  // comm optimistically zero
       }
-      est_[u] = t;
+      est[u] = t;
     }
-    cp_bound = std::max(cp_bound, est_[u] + sl_nc_[u]);
+    cp_bound = std::max(cp_bound, est[u] + sl_nc_[u]);
   }
 
   // Load bound.

@@ -27,8 +27,13 @@ class LowerBounds {
  public:
   explicit LowerBounds(const TaskGraph& g, int num_procs);
 
-  /// Lower bound on the completion of any extension of `s`.
-  Time evaluate(const Schedule& s) const;
+  /// Lower bound on the completion of any extension of `s`. `est_scratch`
+  /// is caller-owned working memory (resized on demand): concurrent
+  /// evaluations are safe as long as each thread passes its own buffer.
+  Time evaluate(const Schedule& s, std::vector<Time>& est_scratch) const;
+
+  /// Single-threaded convenience overload using a member scratch buffer.
+  Time evaluate(const Schedule& s) const { return evaluate(s, est_); }
 
   /// Static (empty-schedule) bound: max(comp CP, ceil(work / p)).
   Time static_bound() const { return static_bound_; }

@@ -141,6 +141,32 @@ TEST(Determinism, EveryExperimentIsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Determinism, ParallelBranchAndBoundIsByteIdenticalAcrossBbThreads) {
+  // The B&B-backed experiments accept --bb-threads (default: the engine's
+  // --threads); the round-synchronous search guarantees byte-identical
+  // JSONL at any value. This pins the parallel reference path explicitly,
+  // independent of the engine-thread matrix above.
+  const std::vector<ExpConfig> cases{
+      {"table2", {"--max-v=12", "--bb-nodes=500", "--bb-threads=1"}},
+      {"table2", {"--max-v=12", "--bb-nodes=500", "--bb-threads=8"}},
+      {"table3", {"--max-v=12", "--bb-nodes=500", "--bb-threads=1"}},
+      {"table3", {"--max-v=12", "--bb-nodes=500", "--bb-threads=8"}},
+      {"ablate_bb",
+       {"--max-nodes=10", "--bb-nodes=1000", "--naive-nodes=10000",
+        "--no-timing", "--bb-threads=1"}},
+      {"ablate_bb",
+       {"--max-nodes=10", "--bb-nodes=1000", "--naive-nodes=10000",
+        "--no-timing", "--bb-threads=8"}},
+  };
+  for (std::size_t i = 0; i < cases.size(); i += 2) {
+    SCOPED_TRACE(cases[i].name);
+    const std::string serial = run_reduced(cases[i], 2, 42);
+    const std::string parallel = run_reduced(cases[i + 1], 2, 42);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+  }
+}
+
 TEST(Determinism, MasterSeedChangesTheStream) {
   const ExpConfig cfg{"ablate_insertion", {"--graphs=2", "--nodes=60"}};
   EXPECT_NE(run_reduced(cfg, 2, 1), run_reduced(cfg, 2, 2));

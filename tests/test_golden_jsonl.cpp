@@ -48,9 +48,12 @@ const std::vector<GoldenCase>& golden_cases() {
   static const std::vector<GoldenCase> cases{
       {"psg", "table1.jsonl",
        {"--experiment=table1", "--algo=MCP,DCP"}},
+      // --bb-threads=8 pins the PARALLEL branch-and-bound path against the
+      // committed snapshot (which --bb-threads=1 reproduces byte-for-byte
+      // by the round-synchronous determinism guarantee).
       {"rgbos", "table2.jsonl",
        {"--experiment=table2", "--max-v=12", "--bb-nodes=200",
-        "--algo=DCP"}},
+        "--algo=DCP", "--bb-threads=8"}},
       {"rgpos", "table4.jsonl",
        {"--experiment=table4", "--max-v=50", "--algo=DCP"}},
       {"rgnos", "fig2.jsonl",
@@ -59,6 +62,9 @@ const std::vector<GoldenCase>& golden_cases() {
        {"--experiment=fig4", "--max-dim=8", "--algo=DCP,MCP,BSA"}},
       {"ablations", "ablate_insertion.jsonl",
        {"--experiment=ablate_insertion", "--graphs=1", "--nodes=40"}},
+      {"ablations", "ablate_bb.jsonl",
+       {"--experiment=ablate_bb", "--max-nodes=10", "--bb-nodes=300",
+        "--naive-nodes=2000", "--no-timing", "--bb-threads=8"}},
       {"runtimes", "table6.jsonl",
        {"--experiment=table6", "--max-nodes=50", "--no-timing",
         "--algo=MCP,DCP"}},

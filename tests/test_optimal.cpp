@@ -190,5 +190,89 @@ TEST(BranchAndBound, DeterministicWhenProven) {
   EXPECT_EQ(a.length, b.length);
 }
 
+void expect_identical_results(const BBResult& a, const BBResult& b,
+                              const TaskGraph& g) {
+  EXPECT_EQ(a.length, b.length);
+  EXPECT_EQ(a.proven_optimal, b.proven_optimal);
+  EXPECT_EQ(a.nodes_expanded, b.nodes_expanded);
+  ASSERT_EQ(a.schedule.has_value(), b.schedule.has_value());
+  if (a.schedule) {
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      EXPECT_EQ(a.schedule->proc(n), b.schedule->proc(n)) << "task " << n;
+      EXPECT_EQ(a.schedule->start(n), b.schedule->start(n)) << "task " << n;
+    }
+  }
+}
+
+TEST(BranchAndBound, ByteIdenticalAtOneVsEightThreads) {
+  // The round-synchronous search contract: schedule, length,
+  // proven_optimal AND nodes_expanded are pure functions of the input --
+  // num_threads is execution width only.
+  for (const double ccr : {0.1, 1.0, 10.0}) {
+    const TaskGraph g = rgbos_graph(ccr, 14, 21);
+    const BBResult a = branch_and_bound(g, quick(2, /*threads=*/1));
+    const BBResult b = branch_and_bound(g, quick(2, /*threads=*/8));
+    SCOPED_TRACE(ccr);
+    ASSERT_TRUE(a.schedule.has_value());
+    expect_identical_results(a, b, g);
+  }
+}
+
+TEST(BranchAndBound, ByteIdenticalAcrossThreadsUnderNodeBudget) {
+  // Budget truncation must also cut at the same node at any thread count:
+  // the budget is rationed per subtree by the round ledger, not by a
+  // shared fetch-add race.
+  const TaskGraph g = rgbos_graph(1.0, 24, 9);
+  BBOptions opt = quick(2, /*threads=*/1);
+  opt.time_limit_seconds = 0.0;
+  opt.max_nodes = 20'000;
+  const BBResult a = branch_and_bound(g, opt);
+  opt.num_threads = 8;
+  const BBResult b = branch_and_bound(g, opt);
+  EXPECT_GE(a.nodes_expanded, 1u);
+  expect_identical_results(a, b, g);
+}
+
+TEST(BranchAndBound, UpperBoundPruningEverythingReportsTheBound) {
+  // A bound below every achievable makespan prunes the whole tree; the
+  // result must report that bound (not a bogus 0) and stay proven.
+  const TaskGraph g = chain_graph(5, 10, 50);  // optimum = 50
+  BBOptions opt = quick(2);
+  opt.initial_upper_bound = 20;
+  const BBResult r = branch_and_bound(g, opt);
+  EXPECT_FALSE(r.schedule.has_value());
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_EQ(r.length, 20);
+}
+
+TEST(BranchAndBound, InitialScheduleSeedsTheIncumbent) {
+  const TaskGraph g = rgbos_graph(10.0, 14, 5);
+  SchedOptions heur_opt;
+  heur_opt.num_procs = 2;
+  const Schedule heur = make_scheduler("MCP")->run(g, heur_opt);
+
+  // Starved budget: too small to complete anything, yet the seeded
+  // incumbent guarantees a schedule no worse than the heuristic.
+  BBOptions starved = quick(2);
+  starved.time_limit_seconds = 0.0;
+  starved.max_nodes = 1;
+  starved.initial_schedule = heur;
+  const BBResult r = branch_and_bound(g, starved);
+  ASSERT_TRUE(r.schedule.has_value());
+  EXPECT_LE(r.length, heur.makespan());
+  EXPECT_FALSE(r.proven_optimal);
+  EXPECT_TRUE(validate_schedule(*r.schedule, 2).ok);
+
+  // Full search seeded with the heuristic: still finds the true optimum.
+  BBOptions full = quick(2);
+  full.initial_schedule = heur;
+  full.initial_upper_bound = heur.makespan();
+  const BBResult best = branch_and_bound(g, full);
+  const BBResult unseeded = branch_and_bound(g, quick(2));
+  ASSERT_TRUE(best.proven_optimal);
+  ASSERT_TRUE(best.schedule.has_value());
+  EXPECT_EQ(best.length, unseeded.length);
+}
+
 }  // namespace
 }  // namespace tgs
