@@ -69,12 +69,13 @@ void run_ablate_bb(const ExpContext& ctx) {
     const double ccr = pt.param("ccr");
     const TaskGraph g = rgbos_graph(ccr, v, jc.master_seed);
     const std::string pivot = "ccr" + Table::fmt(ccr, 1);
+    SchedWorkspace& ws = bind_workspace(g);
 
     SchedOptions heur_opt;
     heur_opt.num_procs = 2;
     Time best_heur = kTimeInf;
     for (const auto& a : make_bnp_schedulers())
-      best_heur = std::min(best_heur, a->run(g, heur_opt).makespan());
+      best_heur = std::min(best_heur, a->run(g, heur_opt, ws).makespan());
 
     BBOptions full;
     full.num_procs = 2;
@@ -171,18 +172,20 @@ void run_ablate_ccr(const ExpContext& ctx) {
     // Keyed by i only: CCR rows stay paired on the same base structure.
     p.seed = derive_seed(jc.master_seed, static_cast<std::uint64_t>(i));
     const TaskGraph g = rgnos_graph(p);
+    SchedWorkspace& ws = bind_workspace(g);
 
     std::vector<Record> records;
     for (const std::string& name : unc_n) {
-      const RunResult rr = run_scheduler(*make_scheduler(name), g, {});
+      const RunResult rr = run_scheduler(*make_scheduler(name), g, {}, ws);
       records.push_back(record_from_run(rr, "ablate_ccr", ccr, rr.nsl));
     }
     for (const std::string& name : bnp_n) {
-      const RunResult rr = run_scheduler(*make_scheduler(name), g, {});
+      const RunResult rr = run_scheduler(*make_scheduler(name), g, {}, ws);
       records.push_back(record_from_run(rr, "ablate_ccr", ccr, rr.nsl));
     }
     for (const std::string& name : apn_n) {
-      RunResult rr = run_apn_scheduler(*make_apn_scheduler(name), g, routes);
+      RunResult rr =
+          run_apn_scheduler(*make_apn_scheduler(name), g, routes, ws);
       rr.algo += "(APN)";
       records.push_back(record_from_run(rr, "ablate_ccr", ccr, rr.nsl));
     }
@@ -228,14 +231,15 @@ void run_ablate_insertion(const ExpContext& ctx) {
     p.parallelism = 1 + i % 5;
     p.seed = jc.seed;
     const TaskGraph g = rgnos_graph(p);
-    const double lh =
-        static_cast<double>(make_scheduler("HLFET")->run(g, {}).makespan());
+    SchedWorkspace& ws = bind_workspace(g);
+    const double lh = static_cast<double>(
+        make_scheduler("HLFET")->run(g, {}, ws).makespan());
     const double li =
-        static_cast<double>(make_scheduler("ISH")->run(g, {}).makespan());
+        static_cast<double>(make_scheduler("ISH")->run(g, {}, ws).makespan());
     const double le =
-        static_cast<double>(make_scheduler("ETF")->run(g, {}).makespan());
+        static_cast<double>(make_scheduler("ETF")->run(g, {}, ws).makespan());
     const double lm =
-        static_cast<double>(make_scheduler("MCP")->run(g, {}).makespan());
+        static_cast<double>(make_scheduler("MCP")->run(g, {}, ws).makespan());
 
     std::vector<Record> records;
     const auto cell = [&](const std::string& column, double value) {
@@ -295,12 +299,13 @@ void run_ablate_priority(const ExpContext& ctx) {
     p.parallelism = 1 + i % 5;
     p.seed = jc.seed;
     const TaskGraph g = rgnos_graph(p);
+    SchedWorkspace& ws = bind_workspace(g);
 
     std::vector<Record> records;
     const auto group = [&](const std::vector<const char*>& names,
                            const char* column) {
       for (const char* n : names) {
-        const RunResult r = run_scheduler(*make_scheduler(n), g, {});
+        const RunResult r = run_scheduler(*make_scheduler(n), g, {}, ws);
         Record nsl;
         nsl.pivot = "priority_nsl";
         nsl.row = ccr;
@@ -378,11 +383,12 @@ void run_ablate_topology(const ExpContext& ctx) {
     // Keyed by i only: every machine must see the same graph suite.
     p.seed = derive_seed(jc.master_seed, static_cast<std::uint64_t>(i));
     const TaskGraph g = rgnos_graph(p);
+    SchedWorkspace& ws = bind_workspace(g);
 
     std::vector<Record> records;
     for (const std::string& name : apn_n) {
       const RunResult rr =
-          run_apn_scheduler(*make_apn_scheduler(name), g, routes);
+          run_apn_scheduler(*make_apn_scheduler(name), g, routes, ws);
       if (!rr.valid)
         throw std::runtime_error("invalid " + rr.algo + " schedule on " +
                                  pt.label("machine") + ": " + rr.error);

@@ -57,6 +57,7 @@ void run_table_rgbos(const ExpContext& ctx, bool unc) {
     // per-job stream is not used because the suite has no replications.
     const TaskGraph g = rgbos_graph(ccr, v, jc.master_seed);
     const std::string pivot = "ccr" + Table::fmt(ccr, 1);
+    SchedWorkspace& ws = bind_workspace(g);
 
     SchedOptions opt;
     if (!unc) opt.num_procs = procs;
@@ -65,7 +66,7 @@ void run_table_rgbos(const ExpContext& ctx, bool unc) {
     Time best_heur = kTimeInf;
     std::string best_name;
     for (const std::string& name : names) {
-      runs.push_back(run_scheduler(*make_scheduler(name), g, opt));
+      runs.push_back(run_scheduler(*make_scheduler(name), g, opt, ws));
       ref_procs = std::max(ref_procs, runs.back().procs_used);
       if (runs.back().length < best_heur) {
         best_heur = runs.back().length;
@@ -82,7 +83,7 @@ void run_table_rgbos(const ExpContext& ctx, bool unc) {
     // Seeding the incumbent with the best heuristic's schedule guarantees
     // the reference is never worse than the heuristics, even when the
     // node budget runs dry before the search completes anything.
-    bb.initial_schedule = make_scheduler(best_name)->run(g, opt);
+    bb.initial_schedule = make_scheduler(best_name)->run(g, opt, ws);
     const BBResult bbr = branch_and_bound(g, bb);
     const Time reference = bbr.length;
 

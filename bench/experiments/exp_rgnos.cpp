@@ -50,6 +50,7 @@ void run_fig2(const ExpContext& ctx) {
   const auto job = [&](const JobContext& jc, const SweepPoint& pt) {
     const NodeId v = static_cast<NodeId>(pt.param("v"));
     const RgnosJobGraph g = rgnos_graph_at(jc, pt, reps);
+    SchedWorkspace& ws = bind_workspace(g.graph);
 
     std::vector<Record> records;
     const auto tag = [&](Record rec) {
@@ -59,17 +60,17 @@ void run_fig2(const ExpContext& ctx) {
     };
     for (const std::string& name : unc_n)
       tag(record_from_run(
-          require_valid(run_scheduler(*make_scheduler(name), g.graph, {})),
+          require_valid(run_scheduler(*make_scheduler(name), g.graph, {}, ws)),
           "fig2a", v, 0.0));
     for (const std::string& name : bnp_n)
       tag(record_from_run(
-          require_valid(run_scheduler(*make_scheduler(name), g.graph, {})),
+          require_valid(run_scheduler(*make_scheduler(name), g.graph, {}, ws)),
           "fig2b", v, 0.0));
     if (v <= apn_max)
       for (const std::string& name : apn_n)
         tag(record_from_run(
             require_valid(run_apn_scheduler(*make_apn_scheduler(name),
-                                            g.graph, routes)),
+                                            g.graph, routes, ws)),
             "fig2c", v, 0.0));
     for (Record& rec : records) rec.value = num_field(rec, "nsl", 0.0);
     return records;
@@ -113,17 +114,18 @@ void run_fig3(const ExpContext& ctx) {
   const auto job = [&](const JobContext& jc, const SweepPoint& pt) {
     const NodeId v = static_cast<NodeId>(pt.param("v"));
     const RgnosJobGraph g = rgnos_graph_at(jc, pt, reps);
+    SchedWorkspace& ws = bind_workspace(g.graph);
 
     std::vector<Record> records;
     for (const std::string& name : unc_n) {
       const RunResult rr =
-          require_valid(run_scheduler(*make_scheduler(name), g.graph, {}));
+          require_valid(run_scheduler(*make_scheduler(name), g.graph, {}, ws));
       records.push_back(record_from_run(
           rr, "fig3a", v, static_cast<double>(rr.procs_used)));
     }
     for (const std::string& name : bnp_n) {
       const RunResult rr =
-          require_valid(run_scheduler(*make_scheduler(name), g.graph, {}));
+          require_valid(run_scheduler(*make_scheduler(name), g.graph, {}, ws));
       records.push_back(record_from_run(
           rr, "fig3b", v, static_cast<double>(rr.procs_used)));
     }
@@ -180,6 +182,7 @@ void run_ext_unc_cs(const ExpContext& ctx) {
     p.parallelism = 2 + i % 3;
     p.seed = jc.seed;
     const TaskGraph g = rgnos_graph(p);
+    SchedWorkspace& ws = bind_workspace(g);
 
     std::vector<Record> records;
     const auto cell = [&](const std::string& column, Time makespan) {
@@ -192,7 +195,7 @@ void run_ext_unc_cs(const ExpContext& ctx) {
       records.push_back(std::move(rec));
     };
     for (const char* unc_name : {"DSC", "DCP"}) {
-      const Schedule unc = make_scheduler(unc_name)->run(g, {});
+      const Schedule unc = make_scheduler(unc_name)->run(g, {}, ws);
       const auto clusters = clusters_of(unc);
       const Schedule sarkar = map_clusters_sarkar(g, clusters, procs);
       const Schedule rcp = map_clusters_rcp(g, clusters, procs);
@@ -206,7 +209,8 @@ void run_ext_unc_cs(const ExpContext& ctx) {
     SchedOptions bounded;
     bounded.num_procs = procs;
     for (const char* bnp_name : {"MCP", "ETF"})
-      cell(bnp_name, make_scheduler(bnp_name)->run(g, bounded).makespan());
+      cell(bnp_name,
+           make_scheduler(bnp_name)->run(g, bounded, ws).makespan());
     return records;
   };
   run_sweep(sweep, ctx.seed, ctx.threads, job, sink);

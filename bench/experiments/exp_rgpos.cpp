@@ -62,12 +62,14 @@ void run_table_rgpos(const ExpContext& ctx, bool unc) {
     params.seed = splitmix64(state);
     const RgposGraph r = rgpos_graph(params);
     const std::string pivot = "ccr" + Table::fmt(ccr, 1);
+    SchedWorkspace& ws = bind_workspace(r.graph);
 
     SchedOptions opt;
     if (!unc) opt.num_procs = r.num_procs;
     std::vector<Record> records;
     for (const std::string& name : names) {
-      const RunResult rr = run_scheduler(*make_scheduler(name), r.graph, opt);
+      const RunResult rr =
+          run_scheduler(*make_scheduler(name), r.graph, opt, ws);
       const double deg = percent_degradation(rr.length, r.optimal_length);
       // "Found the optimum" is <= for UNC (the width-guarded plant is a
       // lower bound, so matching it can only happen from above or at

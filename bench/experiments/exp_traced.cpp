@@ -55,31 +55,38 @@ void run_fig4(const ExpContext& ctx) {
 
   const auto job = [&](const JobContext&, const SweepPoint& pt) {
     const int dim = static_cast<int>(pt.param("dim"));
-    const TaskGraph g = cholesky_graph(dim, comm);
-
     std::vector<Record> records;
-    for (const std::string& name : unc_n) {
-      const RunResult rr = run_scheduler(*make_scheduler(name), g, {});
-      records.push_back(record_from_run(rr, "fig4a", dim, rr.nsl));
-    }
-    for (const std::string& name : bnp_n) {
-      const RunResult rr = run_scheduler(*make_scheduler(name), g, {});
-      records.push_back(record_from_run(rr, "fig4b", dim, rr.nsl));
-    }
-    for (const std::string& name : apn_n) {
-      const RunResult rr =
-          run_apn_scheduler(*make_apn_scheduler(name), g, routes);
-      records.push_back(record_from_run(rr, "fig4c", dim, rr.nsl));
+
+    // bind_workspace hands out the one thread-local workspace, so each
+    // graph's reference lives in its own scope -- two live names would
+    // alias, and binding the second would invalidate the first.
+    {
+      const TaskGraph g = cholesky_graph(dim, comm);
+      SchedWorkspace& ws = bind_workspace(g);
+      for (const std::string& name : unc_n) {
+        const RunResult rr = run_scheduler(*make_scheduler(name), g, {}, ws);
+        records.push_back(record_from_run(rr, "fig4a", dim, rr.nsl));
+      }
+      for (const std::string& name : bnp_n) {
+        const RunResult rr = run_scheduler(*make_scheduler(name), g, {}, ws);
+        records.push_back(record_from_run(rr, "fig4b", dim, rr.nsl));
+      }
+      for (const std::string& name : apn_n) {
+        const RunResult rr =
+            run_apn_scheduler(*make_apn_scheduler(name), g, routes, ws);
+        records.push_back(record_from_run(rr, "fig4c", dim, rr.nsl));
+      }
     }
 
     // Second application (paper: "quite similar for both applications").
     if (!gauss_n.empty()) {
       const TaskGraph ge = gaussian_elimination_graph(dim, comm);
+      SchedWorkspace& ws = bind_workspace(ge);
       for (const std::string& name : gauss_n) {
         const RunResult rr =
             name == "BSA"
-                ? run_apn_scheduler(*make_apn_scheduler(name), ge, routes)
-                : run_scheduler(*make_scheduler(name), ge, {});
+                ? run_apn_scheduler(*make_apn_scheduler(name), ge, routes, ws)
+                : run_scheduler(*make_scheduler(name), ge, {}, ws);
         Record rec = record_from_run(rr, "fig4x", dim, rr.nsl);
         rec.str.emplace_back("app", "gauss");
         records.push_back(std::move(rec));

@@ -211,4 +211,10 @@ const RunResult& require_valid(const RunResult& r) {
   return r;
 }
 
+SchedWorkspace& bind_workspace(const TaskGraph& g) {
+  static thread_local SchedWorkspace ws;
+  ws.begin_graph(g);
+  return ws;
+}
+
 }  // namespace tgs::bench

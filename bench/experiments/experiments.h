@@ -142,6 +142,15 @@ RgnosJobGraph rgnos_graph_at(const JobContext& jc, const SweepPoint& pt,
 /// on this.
 const RunResult& require_valid(const RunResult& r);
 
+/// Thread-local scheduling workspace, rebound to `g`. Call once per
+/// generated graph inside a job and pass the result to every
+/// run_scheduler / run_apn_scheduler on that graph: per-graph attributes
+/// (static levels, ALAP, ...) are then computed once per graph instead of
+/// once per algorithm, and scratch capacity is recycled across all the
+/// jobs a worker thread executes. Workspace state never influences a
+/// schedule, so sweeps stay byte-identical at any --threads.
+SchedWorkspace& bind_workspace(const TaskGraph& g);
+
 // Family registration hooks, called once by experiments().
 void register_psg_experiments(ExperimentRegistry& r);
 void register_rgbos_experiments(ExperimentRegistry& r);

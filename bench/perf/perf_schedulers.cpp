@@ -1,0 +1,183 @@
+// tgs_perf -- google-benchmark suite over the scheduling hot paths. Gated
+// behind -DTGS_BUILD_PERF=ON (needs a system libbenchmark).
+//
+// The *_Naive benchmarks run the retired exhaustive pair-selection loops
+// kept in tests/reference_schedulers.h, so the incremental-vs-naive
+// speedup of one build is measured inside one binary; the committed
+// BENCH_schedulers.json at the repo root is the baseline CI compares
+// against (tools/check_perf_regression.py, >2x real_time fails).
+//
+// Regenerate the baseline with:
+//   ./build/tgs_perf --benchmark_out=BENCH_schedulers.json \
+//                    --benchmark_out_format=json
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "reference_schedulers.h"
+#include "tgs/apn/dls_apn.h"
+#include "tgs/bnp/dls.h"
+#include "tgs/bnp/etf.h"
+#include "tgs/bnp/mcp.h"
+#include "tgs/gen/rgnos.h"
+#include "tgs/graph/attributes.h"
+#include "tgs/list/ready_list.h"
+#include "tgs/net/routing.h"
+#include "tgs/net/topology.h"
+#include "tgs/sched/timeline.h"
+#include "tgs/sched/workspace.h"
+
+namespace tgs {
+namespace {
+
+TaskGraph bench_graph(NodeId v) {
+  RgnosParams p;
+  p.num_nodes = v;
+  p.ccr = 1.0;
+  p.parallelism = 3;
+  p.seed = 1998 + v;  // fixed per size: every run benches the same graph
+  return rgnos_graph(p);
+}
+
+// ------------------------------------------------- pair schedulers -------
+
+void BM_Etf(benchmark::State& state) {
+  const TaskGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+  SchedWorkspace ws;
+  ws.begin_graph(g);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(EtfScheduler().run(g, {}, ws).makespan());
+}
+BENCHMARK(BM_Etf)->Arg(100)->Arg(300)->Arg(500);
+
+void BM_Etf_Naive(benchmark::State& state) {
+  const TaskGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(reference::naive_etf(g, {}).makespan());
+}
+BENCHMARK(BM_Etf_Naive)->Arg(100)->Arg(300)->Arg(500);
+
+void BM_Dls(benchmark::State& state) {
+  const TaskGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+  SchedWorkspace ws;
+  ws.begin_graph(g);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(DlsScheduler().run(g, {}, ws).makespan());
+}
+BENCHMARK(BM_Dls)->Arg(100)->Arg(300)->Arg(500);
+
+void BM_Dls_Naive(benchmark::State& state) {
+  const TaskGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(reference::naive_dls(g, {}).makespan());
+}
+BENCHMARK(BM_Dls_Naive)->Arg(100)->Arg(300)->Arg(500);
+
+void BM_DlsApn(benchmark::State& state) {
+  const TaskGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+  const RoutingTable routes{Topology::hypercube(3)};
+  SchedWorkspace ws;
+  ws.begin_graph(g);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        DlsApnScheduler().run(g, routes, ws).makespan());
+}
+BENCHMARK(BM_DlsApn)->Arg(100);
+
+void BM_DlsApn_Naive(benchmark::State& state) {
+  const TaskGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+  const RoutingTable routes{Topology::hypercube(3)};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(reference::naive_dls_apn(g, routes).makespan());
+}
+BENCHMARK(BM_DlsApn_Naive)->Arg(100);
+
+// MCP is the fast-BNP yardstick (insertion-based, no pair search); it
+// bounds how much of ETF/DLS time is pair selection vs shared machinery.
+void BM_Mcp(benchmark::State& state) {
+  const TaskGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+  SchedWorkspace ws;
+  ws.begin_graph(g);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(McpScheduler().run(g, {}, ws).makespan());
+}
+BENCHMARK(BM_Mcp)->Arg(500);
+
+// Workspace amortization: the same ETF run paying a fresh workspace (and
+// its attribute recomputation + allocations) on every call.
+void BM_Etf_FreshWorkspace(benchmark::State& state) {
+  const TaskGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(EtfScheduler().run(g, {}).makespan());
+}
+BENCHMARK(BM_Etf_FreshWorkspace)->Arg(500);
+
+// ------------------------------------------------------ data structures --
+
+// Release back-to-front: the owner searched for always sits at the tail,
+// so the unhinted variant pays its full linear scan while the hinted one
+// binary-searches straight to it.
+void BM_Timeline_OccupyRelease(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Timeline tl;
+    for (int i = 0; i < n; ++i) tl.occupy(i, i * 10, 8);
+    for (int i = n - 1; i >= 0; --i) tl.release(i, i * 10);  // hinted
+    benchmark::DoNotOptimize(tl.size());
+  }
+}
+BENCHMARK(BM_Timeline_OccupyRelease)->Arg(256)->Arg(1024);
+
+void BM_Timeline_ReleaseLinear(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Timeline tl;
+    for (int i = 0; i < n; ++i) tl.occupy(i, i * 10, 8);
+    for (int i = n - 1; i >= 0; --i) tl.release(i);  // unhinted O(n) scan
+    benchmark::DoNotOptimize(tl.size());
+  }
+}
+BENCHMARK(BM_Timeline_ReleaseLinear)->Arg(256)->Arg(1024);
+
+void BM_Timeline_InsertionFit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Timeline tl;
+  for (int i = 0; i < n; ++i) tl.occupy(i, i * 10, 8);  // gaps of 2
+  for (auto _ : state) {
+    Time acc = 0;
+    for (int i = 0; i < n; ++i)
+      acc += tl.earliest_fit(i * 7 % (n * 10), 2, /*insertion=*/true);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_Timeline_InsertionFit)->Arg(1024);
+
+void BM_ReadyList_Churn(benchmark::State& state) {
+  const TaskGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+  for (auto _ : state) {
+    ReadyList ready(g);
+    std::size_t picked = 0;
+    while (!ready.empty()) {
+      const NodeId n = ready.ready().front();
+      ready.mark_scheduled(n);
+      ++picked;
+    }
+    benchmark::DoNotOptimize(picked);
+  }
+}
+BENCHMARK(BM_ReadyList_Churn)->Arg(500);
+
+void BM_StaticLevels(benchmark::State& state) {
+  const TaskGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+  std::vector<Time> buf;
+  for (auto _ : state) {
+    static_levels_into(g, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_StaticLevels)->Arg(500);
+
+}  // namespace
+}  // namespace tgs
+
+BENCHMARK_MAIN();

@@ -1,10 +1,26 @@
 #include "tgs/apn/apn_common.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "tgs/unc/cluster_schedule.h"
 
 namespace tgs {
+
+NetSchedule ApnScheduler::run(const TaskGraph& g,
+                              const RoutingTable& routes) const {
+  SchedWorkspace ws;
+  ws.begin_graph(g);
+  return do_run(g, routes, ws);
+}
+
+NetSchedule ApnScheduler::run(const TaskGraph& g, const RoutingTable& routes,
+                              SchedWorkspace& ws) const {
+  if (ws.graph() != &g)
+    throw std::logic_error(
+        "SchedWorkspace not bound to this graph; call begin_graph() first");
+  return do_run(g, routes, ws);
+}
 
 Time apn_probe_est(const NetSchedule& ns, NodeId n, int p, bool insertion) {
   const TaskGraph& g = ns.graph();

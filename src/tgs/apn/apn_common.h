@@ -10,6 +10,7 @@
 
 #include "tgs/net/net_schedule.h"
 #include "tgs/net/routing.h"
+#include "tgs/sched/workspace.h"
 
 namespace tgs {
 
@@ -19,9 +20,20 @@ class ApnScheduler {
 
   virtual std::string name() const = 0;
 
-  /// Produce a complete task + message schedule on the routed topology.
-  /// Deterministic for equal inputs.
-  virtual NetSchedule run(const TaskGraph& g, const RoutingTable& routes) const = 0;
+  /// Produce a complete task + message schedule on the routed topology
+  /// with a private, freshly allocated workspace. Deterministic for equal
+  /// inputs.
+  NetSchedule run(const TaskGraph& g, const RoutingTable& routes) const;
+
+  /// Same, but reusing the caller's workspace (`ws` must be bound to `g`
+  /// via begin_graph(); throws std::logic_error otherwise). Bit-identical
+  /// to the fresh-workspace overload.
+  NetSchedule run(const TaskGraph& g, const RoutingTable& routes,
+                  SchedWorkspace& ws) const;
+
+ protected:
+  virtual NetSchedule do_run(const TaskGraph& g, const RoutingTable& routes,
+                             SchedWorkspace& ws) const = 0;
 };
 
 using ApnSchedulerPtr = std::unique_ptr<ApnScheduler>;

@@ -5,7 +5,9 @@
 
 namespace tgs {
 
-NetSchedule BsaScheduler::run(const TaskGraph& g, const RoutingTable& routes) const {
+NetSchedule BsaScheduler::do_run(const TaskGraph& g, const RoutingTable& routes,
+                                 SchedWorkspace& ws) const {
+  (void)ws;
   const Topology& topo = routes.topology();
   const int pivot0 = topo.max_degree_proc();
 

@@ -23,7 +23,10 @@ namespace tgs {
 class BsaScheduler final : public ApnScheduler {
  public:
   std::string name() const override { return "BSA"; }
-  NetSchedule run(const TaskGraph& g, const RoutingTable& routes) const override;
+
+ protected:
+  NetSchedule do_run(const TaskGraph& g, const RoutingTable& routes,
+                     SchedWorkspace& ws) const override;
 };
 
 }  // namespace tgs

@@ -4,7 +4,9 @@
 
 namespace tgs {
 
-NetSchedule BuScheduler::run(const TaskGraph& g, const RoutingTable& routes) const {
+NetSchedule BuScheduler::do_run(const TaskGraph& g, const RoutingTable& routes,
+                                SchedWorkspace& ws) const {
+  (void)ws;
   const Topology& topo = routes.topology();
   const int nprocs = topo.num_procs();
 

@@ -19,7 +19,10 @@ namespace tgs {
 class BuScheduler final : public ApnScheduler {
  public:
   std::string name() const override { return "BU"; }
-  NetSchedule run(const TaskGraph& g, const RoutingTable& routes) const override;
+
+ protected:
+  NetSchedule do_run(const TaskGraph& g, const RoutingTable& routes,
+                     SchedWorkspace& ws) const override;
 };
 
 }  // namespace tgs

@@ -17,7 +17,10 @@ namespace tgs {
 class DlsApnScheduler final : public ApnScheduler {
  public:
   std::string name() const override { return "DLS"; }
-  NetSchedule run(const TaskGraph& g, const RoutingTable& routes) const override;
+
+ protected:
+  NetSchedule do_run(const TaskGraph& g, const RoutingTable& routes,
+                     SchedWorkspace& ws) const override;
 };
 
 }  // namespace tgs

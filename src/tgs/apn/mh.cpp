@@ -4,7 +4,9 @@
 
 namespace tgs {
 
-NetSchedule MhScheduler::run(const TaskGraph& g, const RoutingTable& routes) const {
+NetSchedule MhScheduler::do_run(const TaskGraph& g, const RoutingTable& routes,
+                                SchedWorkspace& ws) const {
+  (void)ws;
   NetSchedule ns(g, routes);
   const int nprocs = routes.topology().num_procs();
   // Descending b-level is a topological order, so parents are always placed

@@ -17,7 +17,10 @@ namespace tgs {
 class MhScheduler final : public ApnScheduler {
  public:
   std::string name() const override { return "MH"; }
-  NetSchedule run(const TaskGraph& g, const RoutingTable& routes) const override;
+
+ protected:
+  NetSchedule do_run(const TaskGraph& g, const RoutingTable& routes,
+                     SchedWorkspace& ws) const override;
 };
 
 }  // namespace tgs

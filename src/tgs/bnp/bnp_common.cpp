@@ -2,9 +2,12 @@
 
 namespace tgs {
 
-ArrivalInfo compute_arrival(const Schedule& s, NodeId n) {
+void compute_arrival_into(const Schedule& s, NodeId n, ArrivalInfo& info) {
   const TaskGraph& g = s.graph();
-  ArrivalInfo info;
+  info.max1 = 0;
+  info.proc1 = kNoProc;
+  info.max2 = 0;
+  info.local_ft.clear();
   for (const Adj& par : g.parents(n)) {
     const ProcId q = s.proc(par.node);
     const Time ft = s.finish(par.node);
@@ -28,6 +31,11 @@ ArrivalInfo compute_arrival(const Schedule& s, NodeId n) {
     if (s.proc(par.node) == info.proc1) continue;
     info.max2 = std::max(info.max2, s.finish(par.node) + par.cost);
   }
+}
+
+ArrivalInfo compute_arrival(const Schedule& s, NodeId n) {
+  ArrivalInfo info;
+  compute_arrival_into(s, n, info);
   return info;
 }
 

@@ -1,5 +1,5 @@
 // Shared machinery of the BNP (bounded number of processors) list
-// schedulers. Two concerns live here:
+// schedulers. Three concerns live here:
 //
 //  * ProcScanner -- keeps processor usage dense (a new processor is only
 //    considered once all lower-numbered ones hold work), which both bounds
@@ -10,9 +10,16 @@
 //    arrivals (with the processor of the largest) plus per-processor local
 //    finish maxima. This turns the O(parents) inner loop of ETF/DLS into
 //    O(1), which matters at the paper's 500-node / 250-graph scale.
+//  * IncrementalPairSelector -- caches each ready node's best (processor,
+//    EST) pair and, after a placement, re-scores only what the placement
+//    could have changed. ETF and DLS are the paper's slow BNP algorithms
+//    precisely because they re-evaluate every (ready node, processor) pair
+//    at every step; the selector removes that re-evaluation without
+//    changing a single schedule (see the invariant below).
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -67,6 +74,9 @@ struct ArrivalInfo {
 /// Build the arrival summary for `n` from the placed parents in `s`.
 ArrivalInfo compute_arrival(const Schedule& s, NodeId n);
 
+/// In-place variant reusing `info`'s local_ft capacity.
+void compute_arrival_into(const Schedule& s, NodeId n, ArrivalInfo& info);
+
 /// Scan processors [0, scanner.scan_count()) and return the one minimizing
 /// the earliest start time of `n` (ties: smaller processor id).
 struct ProcChoice {
@@ -75,5 +85,243 @@ struct ProcChoice {
 };
 ProcChoice best_est_proc(const Schedule& s, NodeId n, const ProcScanner& scanner,
                          bool insertion);
+
+/// Reusable pools of the pair selectors, owned by a SchedWorkspace. Flat
+/// per-node vectors replace the per-run std::unordered_map<NodeId,
+/// ArrivalInfo>. Stale entries are never erased: liveness is the tracked
+/// list (IncrementalPairSelector) or the per-run stamps rewritten at
+/// every admission (the DLS(APN) lazy selector), so starting a new run is
+/// O(1) and steady-state runs allocate nothing (ArrivalInfo::local_ft
+/// capacity survives across runs).
+struct PairScratch {
+  std::vector<std::uint64_t> stamp;       // DLS(APN) only: commit count at
+                                          //   the node's last probe
+  std::vector<ArrivalInfo> arrival;       // per-node arrival summary
+  std::vector<ProcChoice> best;           // per-node best (proc, EST)
+  std::vector<NodeId> tracked;            // nodes currently ready
+  std::vector<Time> seg;                  // proc end-time segment tree
+
+  /// Size the pools for a graph with `num_nodes` nodes (grow-only).
+  void bind(std::size_t num_nodes) {
+    if (stamp.size() < num_nodes) {
+      stamp.resize(num_nodes, 0);
+      arrival.resize(num_nodes);
+      best.resize(num_nodes);
+    }
+  }
+
+  /// Start a run: forget every tracked node in O(1).
+  void begin_run() { tracked.clear(); }
+};
+
+/// Min segment tree over per-processor timeline end times. Non-insertion
+/// EST against processor p is max(ready, end_time(p)), so "the best
+/// processor for arrival time X" reduces to two ordered queries answered
+/// in O(log P): the smallest-id processor already idle by X (its EST is
+/// exactly X, and lower-id processors all end later), else the processor
+/// ending first. Backed by a PairScratch buffer so reruns do not allocate.
+class ProcEndIndex {
+ public:
+  void init(int nprocs, std::vector<Time>& storage) {
+    base_ = 1;
+    while (base_ < nprocs) base_ <<= 1;
+    seg_ = &storage;
+    storage.assign(static_cast<std::size_t>(base_) * 2, kTimeInf);
+    for (int p = 0; p < nprocs; ++p) storage[base_ + p] = 0;
+    for (int i = base_ - 1; i >= 1; --i)
+      storage[i] = std::min(storage[2 * i], storage[2 * i + 1]);
+  }
+
+  Time end_of(int p) const { return (*seg_)[base_ + p]; }
+
+  void set(int p, Time end) {
+    std::vector<Time>& s = *seg_;
+    int i = base_ + p;
+    s[i] = end;
+    for (i /= 2; i >= 1; i /= 2) s[i] = std::min(s[2 * i], s[2 * i + 1]);
+  }
+
+  /// Smallest p in [0, count) with end_of(p) <= x; -1 if none.
+  int first_at_most(Time x, int count) const {
+    return find_at_most(1, 0, base_, x, count);
+  }
+
+  /// p in [0, count) minimizing end_of(p), smallest id on ties.
+  int min_end_proc(int count) const {
+    Time bv = kTimeInf;
+    int bp = -1;
+    min_rec(1, 0, base_, count, bv, bp);
+    return bp;
+  }
+
+ private:
+  int find_at_most(int node, int lo, int hi, Time x, int count) const {
+    if (lo >= count || (*seg_)[node] > x) return -1;
+    if (hi - lo == 1) return lo;
+    const int mid = (lo + hi) / 2;
+    const int left = find_at_most(2 * node, lo, mid, x, count);
+    if (left >= 0) return left;
+    return find_at_most(2 * node + 1, mid, hi, x, count);
+  }
+
+  void min_rec(int node, int lo, int hi, int count, Time& bv, int& bp) const {
+    if (lo >= count || (*seg_)[node] >= bv) return;  // left-first keeps ties
+    if (hi - lo == 1) {
+      bv = (*seg_)[node];
+      bp = lo;
+      return;
+    }
+    const int mid = (lo + hi) / 2;
+    min_rec(2 * node, lo, mid, count, bv, bp);
+    min_rec(2 * node + 1, mid, hi, count, bv, bp);
+  }
+
+  int base_ = 1;
+  std::vector<Time>* seg_ = nullptr;
+};
+
+/// Incremental (ready node, processor) pair selection against a Schedule.
+///
+/// Invariant: placing a task on processor q only mutates timeline q, and a
+/// ready node's arrival summary is frozen (its parents are placed and never
+/// move). So after a placement, a cached best (proc, EST) pair stays exact
+/// unless (a) it sits on q -- its EST may have grown, rescan the node -- or
+/// (b) ProcScanner::scan_count() grew -- the newly opened processors must
+/// be scored against every cached pair (an empty processor can only win
+/// strictly, so ties keep preferring smaller ids). ESTs on untouched
+/// processors cannot shrink (occupying a timeline never makes earliest_fit
+/// earlier, in both append and insertion mode), hence no other cached best
+/// can be beaten. Selection order -- and therefore every schedule -- is
+/// byte-identical to the exhaustive per-step rescan; the goldens and the
+/// naive-reference property tests enforce this.
+///
+/// Per-node bests are exact at all times, so a scheduling step is one
+/// O(ready) argmin over best() instead of O(ready x procs) EST probes.
+///
+/// In append (non-insertion) mode the per-node rescore itself drops from
+/// O(procs) to O(log procs): EST(m, p) = max(ready_on(m, p), end_time(p)),
+/// and ready_on(m, p) equals the arrival max1 on every processor except
+/// proc1 (a parent's finish without communication never exceeds its finish
+/// plus communication), so the best processor is either proc1 or the
+/// answer to an ordered end-time query on ProcEndIndex. Insertion mode
+/// falls back to the linear scan (gaps break the max() formula).
+class IncrementalPairSelector {
+ public:
+  /// `scratch` must outlive the selector; begin_run() is called here.
+  IncrementalPairSelector(const Schedule& s, const ProcScanner& scanner,
+                          bool insertion, PairScratch& scratch)
+      : sched_(&s),
+        scanner_(&scanner),
+        scratch_(&scratch),
+        insertion_(insertion),
+        scanned_(scanner.scan_count()) {
+    scratch.bind(s.graph().num_nodes());
+    scratch.begin_run();
+    if (!insertion_) {
+      index_.init(scanner.limit(), scratch.seg);
+      for (int p = 0; p < std::min(scanner.limit(), s.num_procs()); ++p)
+        if (const Time end = s.timeline(p).end_time(); end > 0)
+          index_.set(p, end);
+    }
+  }
+
+  /// Admit a node whose parents are all placed: compute its arrival
+  /// summary and score processors [0, scan_count). Membership is the
+  /// tracked list; this selector does not use PairScratch::stamp.
+  void node_ready(NodeId n) {
+    compute_arrival_into(*sched_, n, scratch_->arrival[n]);
+    scratch_->tracked.push_back(n);
+    rescore(n, scanned_);
+  }
+
+  /// Report that `n` (previously ready) was placed on `p`. Call after
+  /// Schedule::place and ProcScanner::note_placement; re-scores exactly
+  /// the cached pairs the placement could have invalidated.
+  void node_placed(NodeId n, ProcId p) {
+    std::vector<NodeId>& tracked = scratch_->tracked;
+    for (std::size_t i = 0; i < tracked.size(); ++i) {
+      if (tracked[i] == n) {
+        tracked[i] = tracked.back();
+        tracked.pop_back();
+        break;
+      }
+    }
+    if (!insertion_) index_.set(p, sched_->timeline(p).end_time());
+    const int count = scanner_->scan_count();
+    for (NodeId m : tracked) {
+      ProcChoice& pc = scratch_->best[m];
+      if (pc.proc == p) {
+        rescore(m, count);
+      } else if (count > scanned_) {
+        // Newly opened processors are empty, so in append mode node m
+        // could start there at its arrival max1; their ids exceed every
+        // cached id, so only a strict improvement can move the best.
+        const ArrivalInfo& arr = scratch_->arrival[m];
+        if (insertion_) {
+          const Cost dur = sched_->graph().weight(m);
+          for (ProcId q = static_cast<ProcId>(scanned_); q < count; ++q) {
+            const Time t =
+                sched_->earliest_start_on(q, arr.ready_on(q), dur, insertion_);
+            if (t < pc.start) pc = {q, t};  // strict: ties keep smaller id
+          }
+        } else if (arr.max1 < pc.start) {
+          pc = {static_cast<ProcId>(scanned_), arr.max1};
+        }
+      }
+    }
+    scanned_ = count;
+  }
+
+  /// Cached best (processor, EST) of ready node `n`; exact under the
+  /// invariant above.
+  const ProcChoice& best(NodeId n) const { return scratch_->best[n]; }
+
+  /// Frozen arrival summary of ready node `n`.
+  const ArrivalInfo& arrival(NodeId n) const { return scratch_->arrival[n]; }
+
+ private:
+  void rescore(NodeId m, int count) {
+    const ArrivalInfo& arr = scratch_->arrival[m];
+    if (!insertion_) {
+      // Candidate 1: proc1, the only processor whose data-ready time can
+      // undercut max1.
+      ProcChoice pc{kNoProc, kTimeInf};
+      if (arr.proc1 != kNoProc && arr.proc1 < count)
+        pc = {arr.proc1,
+              std::max(arr.ready_on(arr.proc1), index_.end_of(arr.proc1))};
+      // Candidate 2: best of the generic EST max(max1, end_time(p)). For
+      // proc1 the generic value only over-estimates, so including it is
+      // harmless (candidate 1 wins any such tie at the same processor).
+      const int idle = index_.first_at_most(arr.max1, count);
+      ProcChoice gen{kNoProc, kTimeInf};
+      if (idle >= 0) {
+        gen = {static_cast<ProcId>(idle), arr.max1};
+      } else {
+        const int p = index_.min_end_proc(count);
+        gen = {static_cast<ProcId>(p), index_.end_of(p)};
+      }
+      if (pc.proc == kNoProc || gen.start < pc.start ||
+          (gen.start == pc.start && gen.proc < pc.proc))
+        pc = gen;
+      scratch_->best[m] = pc;
+      return;
+    }
+    const Cost dur = sched_->graph().weight(m);
+    ProcChoice pc{0, kTimeInf};
+    for (ProcId q = 0; q < count; ++q) {
+      const Time t =
+          sched_->earliest_start_on(q, arr.ready_on(q), dur, insertion_);
+      if (t < pc.start) pc = {q, t};
+    }
+    scratch_->best[m] = pc;
+  }
+
+  const Schedule* sched_;
+  const ProcScanner* scanner_;
+  PairScratch* scratch_;
+  ProcEndIndex index_;
+  bool insertion_;
+  int scanned_;  // scan_count the cached pairs are valid for
+};
 
 }  // namespace tgs

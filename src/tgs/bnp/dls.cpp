@@ -1,53 +1,49 @@
 #include "tgs/bnp/dls.h"
 
-#include <unordered_map>
-
 #include "tgs/bnp/bnp_common.h"
-#include "tgs/graph/attributes.h"
 #include "tgs/list/ready_list.h"
 
 namespace tgs {
 
-Schedule DlsScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
-  const std::vector<Time> sl = static_levels(g);
+Schedule DlsScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
+                              SchedWorkspace& ws) const {
+  const std::vector<Time>& sl = ws.attrs().static_levels();
   Schedule sched(g, effective_procs(g, opt));
   ProcScanner scanner(effective_procs(g, opt));
   ReadyList ready(g);
-  std::unordered_map<NodeId, ArrivalInfo> arrivals;
+
+  // SL(n) is fixed per node, so the pair maximizing DL(n, p) = SL(n) -
+  // EST(n, p) is the pair minimizing EST within each node -- exactly the
+  // cached best the incremental selector maintains.
+  IncrementalPairSelector sel(sched, scanner, /*insertion=*/false,
+                              ws.pair_scratch());
+  for (NodeId n : ready.ready()) sel.node_ready(n);
 
   while (!ready.empty()) {
     NodeId best_n = kNoNode;
-    ProcId best_p = 0;
     Time best_start = 0;
     Time best_dl = 0;
-    const int nprocs = scanner.scan_count();
     for (NodeId m : ready.ready()) {
-      auto it = arrivals.find(m);
-      if (it == arrivals.end())
-        it = arrivals.emplace(m, compute_arrival(sched, m)).first;
-      const ArrivalInfo& arr = it->second;
-      for (ProcId p = 0; p < nprocs; ++p) {
-        const Time est = sched.earliest_start_on(p, arr.ready_on(p), g.weight(m),
-                                                 /*insertion=*/false);
-        const Time dl = sl[m] - est;
-        // Maximize DL; ties -> earlier start, then smaller node/proc id.
-        const bool better =
-            best_n == kNoNode || dl > best_dl ||
-            (dl == best_dl &&
-             (est < best_start ||
-              (est == best_start && (m < best_n || (m == best_n && p < best_p)))));
-        if (better) {
-          best_n = m;
-          best_p = p;
-          best_start = est;
-          best_dl = dl;
-        }
+      const Time est = sel.best(m).start;
+      const Time dl = sl[m] - est;
+      // Maximize DL; ties -> earlier start, then smaller node id.
+      const bool better =
+          best_n == kNoNode || dl > best_dl ||
+          (dl == best_dl && (est < best_start ||
+                             (est == best_start && m < best_n)));
+      if (better) {
+        best_n = m;
+        best_start = est;
+        best_dl = dl;
       }
     }
+    const ProcId best_p = sel.best(best_n).proc;
     sched.place(best_n, best_p, best_start);
     scanner.note_placement(best_p);
+    sel.node_placed(best_n, best_p);
     ready.mark_scheduled(best_n);
-    arrivals.erase(best_n);
+    for (const Adj& c : g.children(best_n))
+      if (ready.is_ready(c.node)) sel.node_ready(c.node);
   }
   return sched;
 }

@@ -1,51 +1,45 @@
 #include "tgs/bnp/etf.h"
 
-#include <unordered_map>
-
 #include "tgs/bnp/bnp_common.h"
-#include "tgs/graph/attributes.h"
 #include "tgs/list/ready_list.h"
 
 namespace tgs {
 
-Schedule EtfScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
-  const std::vector<Time> sl = static_levels(g);
+Schedule EtfScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
+                              SchedWorkspace& ws) const {
+  const std::vector<Time>& sl = ws.attrs().static_levels();
   Schedule sched(g, effective_procs(g, opt));
   ProcScanner scanner(effective_procs(g, opt));
   ReadyList ready(g);
 
-  // Arrival summaries are fixed once a node becomes ready (its parents are
-  // placed and never move); cache them across steps.
-  std::unordered_map<NodeId, ArrivalInfo> arrivals;
+  // Every ready node's best (processor, EST) pair is kept exact by the
+  // selector, so a step is one O(ready) argmin instead of the exhaustive
+  // O(ready x procs) pair scan of the textbook formulation.
+  IncrementalPairSelector sel(sched, scanner, /*insertion=*/false,
+                              ws.pair_scratch());
+  for (NodeId n : ready.ready()) sel.node_ready(n);
 
   while (!ready.empty()) {
     NodeId best_n = kNoNode;
-    ProcId best_p = 0;
     Time best_t = kTimeInf;
-    const int nprocs = scanner.scan_count();
     for (NodeId m : ready.ready()) {
-      auto it = arrivals.find(m);
-      if (it == arrivals.end())
-        it = arrivals.emplace(m, compute_arrival(sched, m)).first;
-      const ArrivalInfo& arr = it->second;
-      for (ProcId p = 0; p < nprocs; ++p) {
-        const Time t = sched.earliest_start_on(p, arr.ready_on(p), g.weight(m),
-                                               /*insertion=*/false);
-        const bool better =
-            t < best_t ||
-            (t == best_t && best_n != kNoNode &&
-             (sl[m] > sl[best_n] || (sl[m] == sl[best_n] && m < best_n)));
-        if (best_n == kNoNode || better) {
-          best_n = m;
-          best_p = p;
-          best_t = t;
-        }
+      const Time t = sel.best(m).start;
+      const bool better =
+          t < best_t ||
+          (t == best_t && best_n != kNoNode &&
+           (sl[m] > sl[best_n] || (sl[m] == sl[best_n] && m < best_n)));
+      if (best_n == kNoNode || better) {
+        best_n = m;
+        best_t = t;
       }
     }
+    const ProcId best_p = sel.best(best_n).proc;
     sched.place(best_n, best_p, best_t);
     scanner.note_placement(best_p);
+    sel.node_placed(best_n, best_p);
     ready.mark_scheduled(best_n);
-    arrivals.erase(best_n);
+    for (const Adj& c : g.children(best_n))
+      if (ready.is_ready(c.node)) sel.node_ready(c.node);
   }
   return sched;
 }

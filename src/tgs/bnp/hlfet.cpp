@@ -7,8 +7,9 @@
 
 namespace tgs {
 
-Schedule HlfetScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
-  const std::vector<Time> sl = static_levels(g);
+Schedule HlfetScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
+                                SchedWorkspace& ws) const {
+  const std::vector<Time>& sl = ws.attrs().static_levels();
   Schedule sched(g, effective_procs(g, opt));
   ProcScanner scanner(effective_procs(g, opt));
   ReadyList ready(g);

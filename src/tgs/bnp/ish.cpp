@@ -9,8 +9,9 @@
 
 namespace tgs {
 
-Schedule IshScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
-  const std::vector<Time> sl = static_levels(g);
+Schedule IshScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
+                              SchedWorkspace& ws) const {
+  const std::vector<Time>& sl = ws.attrs().static_levels();
   Schedule sched(g, effective_procs(g, opt));
   ProcScanner scanner(effective_procs(g, opt));
   ReadyList ready(g);

@@ -18,7 +18,10 @@ class IshScheduler final : public Scheduler {
  public:
   std::string name() const override { return "ISH"; }
   AlgoClass algo_class() const override { return AlgoClass::kBNP; }
-  Schedule run(const TaskGraph& g, const SchedOptions& opt) const override;
+
+ protected:
+  Schedule do_run(const TaskGraph& g, const SchedOptions& opt,
+                  SchedWorkspace& ws) const override;
 };
 
 }  // namespace tgs

@@ -8,8 +8,9 @@
 
 namespace tgs {
 
-Schedule LastScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
-  const std::vector<Time> sl = static_levels(g);
+Schedule LastScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
+                               SchedWorkspace& ws) const {
+  const std::vector<Time>& sl = ws.attrs().static_levels();
 
   // Total incident edge weight per node (denominator of D_NODE).
   std::vector<Cost> incident(g.num_nodes(), 0);

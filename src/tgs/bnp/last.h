@@ -22,7 +22,10 @@ class LastScheduler final : public Scheduler {
  public:
   std::string name() const override { return "LAST"; }
   AlgoClass algo_class() const override { return AlgoClass::kBNP; }
-  Schedule run(const TaskGraph& g, const SchedOptions& opt) const override;
+
+ protected:
+  Schedule do_run(const TaskGraph& g, const SchedOptions& opt,
+                  SchedWorkspace& ws) const override;
 };
 
 }  // namespace tgs

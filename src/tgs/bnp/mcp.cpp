@@ -8,8 +8,9 @@
 
 namespace tgs {
 
-Schedule McpScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
-  const std::vector<Time> alap = alap_times(g);
+Schedule McpScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
+                              SchedWorkspace& ws) const {
+  const std::vector<Time>& alap = ws.attrs().alap_times();
 
   // Priority list per node: [alap(n), sorted alaps of children...].
   std::vector<std::vector<Time>> prio(g.num_nodes());

@@ -1,22 +1,28 @@
 #include "tgs/graph/attributes.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace tgs {
 
-std::vector<Time> t_levels(const TaskGraph& g) {
-  std::vector<Time> t(g.num_nodes(), 0);
+void t_levels_into(const TaskGraph& g, std::vector<Time>& t) {
+  t.assign(g.num_nodes(), 0);
   for (NodeId u : g.topological_order()) {
     Time best = 0;
     for (const Adj& p : g.parents(u))
       best = std::max(best, t[p.node] + g.weight(p.node) + p.cost);
     t[u] = best;
   }
+}
+
+std::vector<Time> t_levels(const TaskGraph& g) {
+  std::vector<Time> t;
+  t_levels_into(g, t);
   return t;
 }
 
-std::vector<Time> b_levels(const TaskGraph& g) {
-  std::vector<Time> b(g.num_nodes(), 0);
+void b_levels_into(const TaskGraph& g, std::vector<Time>& b) {
+  b.assign(g.num_nodes(), 0);
   const auto& topo = g.topological_order();
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     const NodeId u = *it;
@@ -25,11 +31,16 @@ std::vector<Time> b_levels(const TaskGraph& g) {
       best = std::max(best, c.cost + b[c.node]);
     b[u] = g.weight(u) + best;
   }
+}
+
+std::vector<Time> b_levels(const TaskGraph& g) {
+  std::vector<Time> b;
+  b_levels_into(g, b);
   return b;
 }
 
-std::vector<Time> static_levels(const TaskGraph& g) {
-  std::vector<Time> b(g.num_nodes(), 0);
+void static_levels_into(const TaskGraph& g, std::vector<Time>& b) {
+  b.assign(g.num_nodes(), 0);
   const auto& topo = g.topological_order();
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     const NodeId u = *it;
@@ -37,6 +48,11 @@ std::vector<Time> static_levels(const TaskGraph& g) {
     for (const Adj& c : g.children(u)) best = std::max(best, b[c.node]);
     b[u] = g.weight(u) + best;
   }
+}
+
+std::vector<Time> static_levels(const TaskGraph& g) {
+  std::vector<Time> b;
+  static_levels_into(g, b);
   return b;
 }
 
@@ -116,6 +132,63 @@ Time computation_critical_path_length(const TaskGraph& g) {
     best = std::max(best, down[u]);
   }
   return best;
+}
+
+void GraphAttributeCache::bind(const TaskGraph& g) {
+  graph_ = &g;
+  have_sl_ = have_bl_ = have_tl_ = have_alap_ = have_cp_ = false;
+}
+
+const TaskGraph& GraphAttributeCache::bound() const {
+  if (graph_ == nullptr)
+    throw std::logic_error("GraphAttributeCache used before bind()");
+  return *graph_;
+}
+
+const std::vector<Time>& GraphAttributeCache::static_levels() {
+  if (!have_sl_) {
+    static_levels_into(bound(), sl_);
+    have_sl_ = true;
+  }
+  return sl_;
+}
+
+const std::vector<Time>& GraphAttributeCache::b_levels() {
+  if (!have_bl_) {
+    b_levels_into(bound(), bl_);
+    have_bl_ = true;
+  }
+  return bl_;
+}
+
+const std::vector<Time>& GraphAttributeCache::t_levels() {
+  if (!have_tl_) {
+    t_levels_into(bound(), tl_);
+    have_tl_ = true;
+  }
+  return tl_;
+}
+
+Time GraphAttributeCache::critical_path_length() {
+  if (!have_cp_) {
+    const std::vector<Time>& b = b_levels();
+    cp_len_ = 0;
+    for (NodeId e : bound().entry_nodes()) cp_len_ = std::max(cp_len_, b[e]);
+    have_cp_ = true;
+  }
+  return cp_len_;
+}
+
+const std::vector<Time>& GraphAttributeCache::alap_times() {
+  if (!have_alap_) {
+    const Time cp = critical_path_length();
+    const std::vector<Time>& b = b_levels();
+    const TaskGraph& g = bound();
+    alap_.resize(g.num_nodes());
+    for (NodeId i = 0; i < g.num_nodes(); ++i) alap_[i] = cp - b[i];
+    have_alap_ = true;
+  }
+  return alap_;
 }
 
 std::size_t layered_width(const TaskGraph& g) {

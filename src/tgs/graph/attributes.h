@@ -29,6 +29,13 @@ std::vector<Time> b_levels(const TaskGraph& g);
 /// Static level: longest path to an exit counting node weights only.
 std::vector<Time> static_levels(const TaskGraph& g);
 
+// In-place variants: resize + overwrite `out`, reusing its capacity. These
+// are the allocation-free versions the GraphAttributeCache builds on; the
+// by-value functions above are thin wrappers.
+void t_levels_into(const TaskGraph& g, std::vector<Time>& out);
+void b_levels_into(const TaskGraph& g, std::vector<Time>& out);
+void static_levels_into(const TaskGraph& g, std::vector<Time>& out);
+
 /// t-level counting node weights only (comm-free earliest start).
 std::vector<Time> comp_t_levels(const TaskGraph& g);
 
@@ -56,5 +63,41 @@ Time computation_critical_path_length(const TaskGraph& g);
 /// longest comp path depth (exact for layered generators; used for RGNOS
 /// parallelism checks).
 std::size_t layered_width(const TaskGraph& g);
+
+/// Lazy per-graph attribute cache. A scheduling sweep runs many algorithms
+/// on the same graph; each attribute (static levels, b-levels, ...) is
+/// computed at most once per bind() instead of once per Scheduler::run.
+/// The buffers are reused across binds, so a long-lived cache (e.g. inside
+/// a SchedWorkspace) stops allocating once it has seen its largest graph.
+///
+/// Not thread-safe; one cache per worker. The caller owns the aliasing
+/// contract: bind() must be called again whenever the underlying graph
+/// object changes, even if a new graph happens to reuse the same address.
+class GraphAttributeCache {
+ public:
+  /// Point the cache at `g` and invalidate everything. Cheap (no attribute
+  /// is computed until first use).
+  void bind(const TaskGraph& g);
+
+  /// The currently bound graph (nullptr before the first bind()).
+  const TaskGraph* graph() const { return graph_; }
+
+  /// Each accessor computes on first use, then returns the cached vector.
+  /// Throws std::logic_error when no graph is bound.
+  const std::vector<Time>& static_levels();
+  const std::vector<Time>& b_levels();
+  const std::vector<Time>& t_levels();
+  const std::vector<Time>& alap_times();
+  Time critical_path_length();
+
+ private:
+  const TaskGraph& bound() const;
+
+  const TaskGraph* graph_ = nullptr;
+  std::vector<Time> sl_, bl_, tl_, alap_;
+  bool have_sl_ = false, have_bl_ = false, have_tl_ = false,
+       have_alap_ = false, have_cp_ = false;
+  Time cp_len_ = 0;
+};
 
 }  // namespace tgs

@@ -7,12 +7,14 @@
 
 namespace tgs {
 
-RunResult run_scheduler(const Scheduler& algo, const TaskGraph& g,
-                        const SchedOptions& opt) {
+namespace {
+
+RunResult measure(const Scheduler& algo, const TaskGraph& g,
+                  const SchedOptions& opt, SchedWorkspace* ws) {
   RunResult r;
   r.algo = algo.name();
   Timer timer;
-  const Schedule s = algo.run(g, opt);
+  const Schedule s = ws != nullptr ? algo.run(g, opt, *ws) : algo.run(g, opt);
   r.seconds = timer.seconds();
   r.length = s.makespan();
   r.procs_used = s.procs_used();
@@ -23,12 +25,13 @@ RunResult run_scheduler(const Scheduler& algo, const TaskGraph& g,
   return r;
 }
 
-RunResult run_apn_scheduler(const ApnScheduler& algo, const TaskGraph& g,
-                            const RoutingTable& routes) {
+RunResult measure_apn(const ApnScheduler& algo, const TaskGraph& g,
+                      const RoutingTable& routes, SchedWorkspace* ws) {
   RunResult r;
   r.algo = algo.name();
   Timer timer;
-  const NetSchedule ns = algo.run(g, routes);
+  const NetSchedule ns =
+      ws != nullptr ? algo.run(g, routes, *ws) : algo.run(g, routes);
   r.seconds = timer.seconds();
   r.length = ns.makespan();
   r.procs_used = ns.tasks().procs_used();
@@ -37,6 +40,28 @@ RunResult run_apn_scheduler(const ApnScheduler& algo, const TaskGraph& g,
   r.error = v.error;
   r.nsl = normalized_schedule_length(g, r.length);
   return r;
+}
+
+}  // namespace
+
+RunResult run_scheduler(const Scheduler& algo, const TaskGraph& g,
+                        const SchedOptions& opt) {
+  return measure(algo, g, opt, nullptr);
+}
+
+RunResult run_scheduler(const Scheduler& algo, const TaskGraph& g,
+                        const SchedOptions& opt, SchedWorkspace& ws) {
+  return measure(algo, g, opt, &ws);
+}
+
+RunResult run_apn_scheduler(const ApnScheduler& algo, const TaskGraph& g,
+                            const RoutingTable& routes) {
+  return measure_apn(algo, g, routes, nullptr);
+}
+
+RunResult run_apn_scheduler(const ApnScheduler& algo, const TaskGraph& g,
+                            const RoutingTable& routes, SchedWorkspace& ws) {
+  return measure_apn(algo, g, routes, &ws);
 }
 
 }  // namespace tgs

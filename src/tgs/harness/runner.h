@@ -25,8 +25,21 @@ struct RunResult {
 RunResult run_scheduler(const Scheduler& algo, const TaskGraph& g,
                         const SchedOptions& opt);
 
+/// Same, reusing the caller's workspace (bound to `g` via begin_graph()).
+/// A sweep job binds one workspace per graph and passes it to every
+/// algorithm, so graph attributes are computed once per graph -- not once
+/// per run -- and scratch allocations are amortized away. `seconds`
+/// measures the algorithm body only, which is exactly the steady-state
+/// per-call cost the running-time experiments report.
+RunResult run_scheduler(const Scheduler& algo, const TaskGraph& g,
+                        const SchedOptions& opt, SchedWorkspace& ws);
+
 /// Run + validate an APN scheduler on a routed topology.
 RunResult run_apn_scheduler(const ApnScheduler& algo, const TaskGraph& g,
                             const RoutingTable& routes);
+
+/// Workspace-reusing variant, as above.
+RunResult run_apn_scheduler(const ApnScheduler& algo, const TaskGraph& g,
+                            const RoutingTable& routes, SchedWorkspace& ws);
 
 }  // namespace tgs

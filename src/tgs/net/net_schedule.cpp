@@ -50,7 +50,8 @@ Time NetSchedule::probe_arrival(int src_proc, int dst_proc, Cost size,
 void NetSchedule::release_message(NodeId u, NodeId v) {
   auto it = messages_.find(msg_key(u, v));
   if (it == messages_.end()) return;
-  for (const MsgHop& hop : it->second.hops) links_[hop.link].release(msg_key(u, v));
+  for (const MsgHop& hop : it->second.hops)
+    links_[hop.link].release(msg_key(u, v), hop.start);
   messages_.erase(it);
   order_dirty_ = true;
 }

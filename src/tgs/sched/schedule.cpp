@@ -30,7 +30,7 @@ void Schedule::place(NodeId n, ProcId p, Time start) {
 
 void Schedule::unplace(NodeId n) {
   if (proc_[n] == kNoProc) throw std::logic_error("task not placed");
-  timelines_[proc_[n]].release(static_cast<std::int64_t>(n));
+  timelines_[proc_[n]].release(static_cast<std::int64_t>(n), start_[n]);
   proc_[n] = kNoProc;
   start_[n] = 0;
   --placed_count_;

@@ -1,6 +1,22 @@
 #include "tgs/sched/scheduler.h"
 
+#include <stdexcept>
+
 namespace tgs {
+
+Schedule Scheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
+  SchedWorkspace ws;
+  ws.begin_graph(g);
+  return do_run(g, opt, ws);
+}
+
+Schedule Scheduler::run(const TaskGraph& g, const SchedOptions& opt,
+                        SchedWorkspace& ws) const {
+  if (ws.graph() != &g)
+    throw std::logic_error(
+        "SchedWorkspace not bound to this graph; call begin_graph() first");
+  return do_run(g, opt, ws);
+}
 
 const char* algo_class_name(AlgoClass c) {
   switch (c) {

@@ -9,6 +9,7 @@
 
 #include "tgs/graph/task_graph.h"
 #include "tgs/sched/schedule.h"
+#include "tgs/sched/workspace.h"
 
 namespace tgs {
 
@@ -33,9 +34,23 @@ class Scheduler {
 
   virtual AlgoClass algo_class() const = 0;
 
-  /// Produce a complete schedule. Must be deterministic: equal inputs give
-  /// bit-identical schedules.
-  virtual Schedule run(const TaskGraph& g, const SchedOptions& opt) const = 0;
+  /// Produce a complete schedule with a private, freshly allocated
+  /// workspace. Must be deterministic: equal inputs give bit-identical
+  /// schedules.
+  Schedule run(const TaskGraph& g, const SchedOptions& opt) const;
+
+  /// Same, but reusing the caller's workspace buffers (and any graph
+  /// attributes already computed for `g`). `ws` must have been bound to
+  /// `g` with begin_graph(); throws std::logic_error otherwise. The
+  /// schedule produced is bit-identical to the fresh-workspace overload.
+  Schedule run(const TaskGraph& g, const SchedOptions& opt,
+               SchedWorkspace& ws) const;
+
+ protected:
+  /// Algorithm body. `ws` is bound to `g` on entry; implementations may
+  /// use ws.attrs() and ws.pair_scratch() freely but must not rebind it.
+  virtual Schedule do_run(const TaskGraph& g, const SchedOptions& opt,
+                          SchedWorkspace& ws) const = 0;
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;

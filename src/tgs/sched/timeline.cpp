@@ -36,10 +36,19 @@ bool Timeline::fits(Time start, Cost dur) const {
 }
 
 void Timeline::occupy(std::int64_t owner, Time start, Cost dur) {
-  if (!fits(start, dur)) throw std::logic_error("Timeline::occupy overlap");
+  // One binary search provides both the overlap verdict and the insertion
+  // point. `it` is the first interval ending after `start`; everything
+  // before it lies entirely at or before `start`, so [start, start+dur)
+  // overlaps iff `it` begins before the new end.
   auto it = std::lower_bound(
       intervals_.begin(), intervals_.end(), start,
-      [](const Interval& iv, Time t) { return iv.start < t; });
+      [](const Interval& iv, Time t) { return iv.end <= t; });
+  if (it != intervals_.end() && it->start < start + dur)
+    throw std::logic_error("Timeline::occupy overlap");
+  // Keep the list sorted by start: zero-width intervals at exactly `start`
+  // end at `start` and therefore sit before `it`; step over them so the
+  // new interval lands where a sort by start would put it.
+  while (it != intervals_.begin() && std::prev(it)->start >= start) --it;
   intervals_.insert(it, Interval{start, start + dur, owner});
 }
 
@@ -49,6 +58,22 @@ bool Timeline::release(std::int64_t owner) {
   if (it == intervals_.end()) return false;
   intervals_.erase(it);
   return true;
+}
+
+bool Timeline::release(std::int64_t owner, Time start_hint) {
+  // All intervals with this start sit in one contiguous run (zero-width
+  // intervals may share a start); check the run, then fall back to the
+  // full scan in case the hint was wrong.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), start_hint,
+      [](const Interval& iv, Time t) { return iv.start < t; });
+  for (; it != intervals_.end() && it->start == start_hint; ++it) {
+    if (it->owner == owner) {
+      intervals_.erase(it);
+      return true;
+    }
+  }
+  return release(owner);
 }
 
 Time Timeline::busy_time() const {

@@ -36,11 +36,19 @@ class Timeline {
   /// True if [start, start+dur) does not overlap any existing interval.
   bool fits(Time start, Cost dur) const;
 
-  /// Insert an interval; throws std::logic_error if it overlaps.
+  /// Insert an interval; throws std::logic_error if it overlaps. The
+  /// overlap check and the insertion point come out of one binary search.
   void occupy(std::int64_t owner, Time start, Cost dur);
 
   /// Remove the interval with this owner; returns false if absent.
+  /// O(n) scan -- prefer the hinted overload when the start is known.
   bool release(std::int64_t owner);
+
+  /// Remove the interval with this owner whose start time is known to the
+  /// caller (schedulers track where they placed things): binary-searches
+  /// the sorted interval list instead of scanning it, falling back to the
+  /// linear scan if no interval with this owner sits at `start_hint`.
+  bool release(std::int64_t owner, Time start_hint);
 
   /// Remove all intervals.
   void clear() { intervals_.clear(); }

@@ -1,0 +1,17 @@
+#include "tgs/sched/workspace.h"
+
+#include "tgs/bnp/bnp_common.h"  // complete PairScratch for the unique_ptr
+
+namespace tgs {
+
+SchedWorkspace::SchedWorkspace() : pair_(std::make_unique<PairScratch>()) {}
+
+SchedWorkspace::~SchedWorkspace() = default;
+
+void SchedWorkspace::begin_graph(const TaskGraph& g) {
+  graph_ = &g;
+  attrs_.bind(g);
+  pair_->bind(g.num_nodes());
+}
+
+}  // namespace tgs

@@ -1,0 +1,58 @@
+// SchedWorkspace: reusable per-worker scratch threaded through
+// Scheduler::run so a 250-graph x 15-algorithm sweep stops paying a fresh
+// set of allocations (attribute vectors, arrival summaries, pair caches)
+// for every single run. One workspace per worker thread; bind it to each
+// new graph with begin_graph() and pass it to every run on that graph.
+//
+// Contents:
+//  * GraphAttributeCache -- static levels / b-levels / ALAP computed at
+//    most once per graph and shared by every algorithm run with this
+//    workspace (HLFET, ISH, LAST, ETF, DLS and DLS-APN all want static
+//    levels; MCP wants ALAP; DSC wants b-levels).
+//  * PairScratch -- the flat per-node pools of the incremental
+//    (ready node, processor) pair selectors (bnp/bnp_common.h). Stored
+//    behind a pointer so sched/ does not include bnp/ headers.
+//
+// Results never depend on workspace contents -- it only recycles capacity
+// -- so sharing one workspace across algorithms or reusing it across
+// graphs cannot change a schedule. The aliasing contract is the caller's:
+// call begin_graph() for every new graph object, even if it happens to
+// reuse the address of a previous one.
+#pragma once
+
+#include <memory>
+
+#include "tgs/graph/attributes.h"
+
+namespace tgs {
+
+struct PairScratch;  // bnp/bnp_common.h
+
+class SchedWorkspace {
+ public:
+  SchedWorkspace();
+  ~SchedWorkspace();
+  SchedWorkspace(const SchedWorkspace&) = delete;
+  SchedWorkspace& operator=(const SchedWorkspace&) = delete;
+
+  /// Bind to `g`: invalidates the attribute cache and per-node pools.
+  /// Buffers keep their capacity. Must be called before the first run on
+  /// every new graph.
+  void begin_graph(const TaskGraph& g);
+
+  /// Graph of the last begin_graph() (nullptr before the first).
+  const TaskGraph* graph() const { return graph_; }
+
+  /// Lazy attributes of the bound graph.
+  GraphAttributeCache& attrs() { return attrs_; }
+
+  /// Pair-selector pools, sized for the bound graph.
+  PairScratch& pair_scratch() { return *pair_; }
+
+ private:
+  const TaskGraph* graph_ = nullptr;
+  GraphAttributeCache attrs_;
+  std::unique_ptr<PairScratch> pair_;
+};
+
+}  // namespace tgs

@@ -40,7 +40,9 @@ void comm_b_levels(const TaskGraph& g, std::vector<Time>& b) {
 
 }  // namespace
 
-Schedule DcpScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
+Schedule DcpScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
+                              SchedWorkspace& ws) const {
+  (void)ws;
   const int limit = effective_procs(g, opt);
   Schedule sched(g, limit);
   ReadyList ready(g);

@@ -26,7 +26,10 @@ class DcpScheduler final : public Scheduler {
  public:
   std::string name() const override { return "DCP"; }
   AlgoClass algo_class() const override { return AlgoClass::kUNC; }
-  Schedule run(const TaskGraph& g, const SchedOptions& opt) const override;
+
+ protected:
+  Schedule do_run(const TaskGraph& g, const SchedOptions& opt,
+                  SchedWorkspace& ws) const override;
 };
 
 }  // namespace tgs

@@ -9,10 +9,11 @@
 
 namespace tgs {
 
-Schedule DscScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
+Schedule DscScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
+                              SchedWorkspace& ws) const {
   (void)opt;
   const NodeId n = g.num_nodes();
-  const std::vector<Time> bl = b_levels(g);
+  const std::vector<Time>& bl = ws.attrs().b_levels();
 
   // Cluster state: id per node (representative = first member), the finish
   // time of the cluster's last appended node, and the start time assigned

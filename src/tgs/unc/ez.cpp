@@ -7,8 +7,10 @@
 
 namespace tgs {
 
-Schedule EzScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
-  (void)opt;  // UNC: the number of clusters is unbounded by definition.
+Schedule EzScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
+                             SchedWorkspace& ws) const {
+  (void)opt;
+  (void)ws;  // UNC: the number of clusters is unbounded by definition.
 
   struct EdgeRef {
     NodeId u, v;

@@ -15,7 +15,10 @@ class EzScheduler final : public Scheduler {
  public:
   std::string name() const override { return "EZ"; }
   AlgoClass algo_class() const override { return AlgoClass::kUNC; }
-  Schedule run(const TaskGraph& g, const SchedOptions& opt) const override;
+
+ protected:
+  Schedule do_run(const TaskGraph& g, const SchedOptions& opt,
+                  SchedWorkspace& ws) const override;
 };
 
 }  // namespace tgs

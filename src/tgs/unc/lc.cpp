@@ -7,8 +7,10 @@
 
 namespace tgs {
 
-Schedule LcScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
+Schedule LcScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
+                             SchedWorkspace& ws) const {
   (void)opt;
+  (void)ws;
   const NodeId n = g.num_nodes();
   std::vector<bool> examined(n, false);
   DisjointSets ds(n);

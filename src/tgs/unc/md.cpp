@@ -45,7 +45,9 @@ void full_b_levels(const TaskGraph& g, std::vector<Time>& b) {
 
 }  // namespace
 
-Schedule MdScheduler::run(const TaskGraph& g, const SchedOptions& opt) const {
+Schedule MdScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
+                             SchedWorkspace& ws) const {
+  (void)ws;
   const int limit = effective_procs(g, opt);
   Schedule sched(g, limit);
   ProcScanner scanner(limit);

@@ -152,5 +152,40 @@ TEST(Attributes, CompTLevelLowerBoundsTLevel) {
   for (NodeId n = 0; n < g.num_nodes(); ++n) EXPECT_LE(ct[n], t[n]);
 }
 
+TEST(Attributes, CacheMatchesFreeFunctionsAndSurvivesRebinds) {
+  GraphAttributeCache cache;
+  for (const TaskGraph& g :
+       {psg_canonical9(), psg_irregular13(), fork_join(4, 10, 5)}) {
+    cache.bind(g);
+    EXPECT_EQ(cache.static_levels(), static_levels(g));
+    EXPECT_EQ(cache.b_levels(), b_levels(g));
+    EXPECT_EQ(cache.t_levels(), t_levels(g));
+    EXPECT_EQ(cache.alap_times(), alap_times(g));
+    EXPECT_EQ(cache.critical_path_length(), critical_path_length(g));
+    // Second access returns the same cached data.
+    EXPECT_EQ(cache.static_levels(), static_levels(g));
+  }
+}
+
+TEST(Attributes, CacheThrowsBeforeBind) {
+  GraphAttributeCache cache;
+  EXPECT_THROW(cache.static_levels(), std::logic_error);
+  EXPECT_THROW(cache.critical_path_length(), std::logic_error);
+}
+
+TEST(Attributes, InPlaceVariantsReuseCapacity) {
+  const TaskGraph big = fork_join(64, 10, 5);
+  const TaskGraph small = chain_graph(5);
+  std::vector<Time> buf;
+  static_levels_into(big, buf);
+  EXPECT_EQ(buf, static_levels(big));
+  const Time* data = buf.data();
+  const std::size_t cap = buf.capacity();
+  static_levels_into(small, buf);  // shrinking reuses the allocation
+  EXPECT_EQ(buf, static_levels(small));
+  EXPECT_EQ(buf.data(), data);
+  EXPECT_EQ(buf.capacity(), cap);
+}
+
 }  // namespace
 }  // namespace tgs

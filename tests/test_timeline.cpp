@@ -100,5 +100,59 @@ TEST(Timeline, EarliestFitAfterManyIntervals) {
   EXPECT_EQ(tl.earliest_fit(0, 3, true), 998);  // no gap of 3 until the end
 }
 
+TEST(Timeline, OccupySinglePassMatchesFitsVerdict) {
+  // The one-binary-search occupy must accept and reject exactly what
+  // fits() reports, including touching boundaries.
+  Timeline tl;
+  tl.occupy(1, 10, 10);
+  tl.occupy(2, 30, 10);
+  EXPECT_THROW(tl.occupy(3, 9, 2), std::logic_error);    // tail overlap
+  EXPECT_THROW(tl.occupy(3, 19, 2), std::logic_error);   // head overlap
+  EXPECT_THROW(tl.occupy(3, 12, 30), std::logic_error);  // spans both
+  EXPECT_NO_THROW(tl.occupy(3, 20, 10));                 // exact gap
+  EXPECT_NO_THROW(tl.occupy(4, 0, 10));                  // before first
+  EXPECT_NO_THROW(tl.occupy(5, 40, 1));                  // after last
+  const auto& ivs = tl.intervals();
+  ASSERT_EQ(ivs.size(), 5u);
+  for (std::size_t i = 1; i < ivs.size(); ++i)
+    EXPECT_LE(ivs[i - 1].end, ivs[i].start);  // sorted and disjoint
+}
+
+TEST(Timeline, ReleaseWithHintRemovesTheRightInterval) {
+  Timeline tl;
+  tl.occupy(7, 0, 10);
+  tl.occupy(8, 10, 10);
+  tl.occupy(9, 30, 10);
+  EXPECT_TRUE(tl.release(8, 10));
+  EXPECT_FALSE(tl.release(8, 10));
+  ASSERT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl.intervals()[0].owner, 7);
+  EXPECT_EQ(tl.intervals()[1].owner, 9);
+}
+
+TEST(Timeline, ReleaseWithWrongHintFallsBackToLinearScan) {
+  Timeline tl;
+  tl.occupy(7, 0, 10);
+  tl.occupy(8, 10, 10);
+  EXPECT_TRUE(tl.release(7, 999));  // bogus hint still finds the interval
+  EXPECT_EQ(tl.size(), 1u);
+  EXPECT_EQ(tl.intervals()[0].owner, 8);
+  EXPECT_FALSE(tl.release(42, 10));  // hint matches a start, owner does not
+  EXPECT_EQ(tl.size(), 1u);
+}
+
+TEST(Timeline, ReleaseWithHintThenReoccupySameSlot) {
+  // The unplace/replace cycle of migrating schedulers: hinted release
+  // frees exactly the interval the caller placed, and the slot is
+  // immediately reusable.
+  Timeline tl;
+  for (int i = 0; i < 50; ++i) tl.occupy(i, i * 10, 10);
+  EXPECT_TRUE(tl.release(25, 250));
+  EXPECT_TRUE(tl.fits(250, 10));
+  tl.occupy(99, 250, 10);
+  EXPECT_EQ(tl.size(), 50u);
+  EXPECT_EQ(tl.intervals()[25].owner, 99);
+}
+
 }  // namespace
 }  // namespace tgs
