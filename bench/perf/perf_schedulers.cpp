@@ -15,11 +15,14 @@
 #include <vector>
 
 #include "reference_schedulers.h"
+#include "reference_timeline.h"
 #include "tgs/apn/dls_apn.h"
+#include "tgs/apn/mh.h"
 #include "tgs/bnp/dls.h"
 #include "tgs/bnp/etf.h"
 #include "tgs/bnp/mcp.h"
 #include "tgs/gen/rgnos.h"
+#include "tgs/gen/structured.h"
 #include "tgs/graph/attributes.h"
 #include "tgs/list/ready_list.h"
 #include "tgs/net/routing.h"
@@ -112,6 +115,81 @@ void BM_Etf_FreshWorkspace(benchmark::State& state) {
 }
 BENCHMARK(BM_Etf_FreshWorkspace)->Arg(500);
 
+void BM_Mh_Apn(benchmark::State& state) {
+  const TaskGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+  const RoutingTable routes{Topology::hypercube(3)};
+  SchedWorkspace ws;
+  ws.begin_graph(g);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(MhScheduler().run(g, routes, ws).makespan());
+}
+BENCHMARK(BM_Mh_Apn)->Arg(100)->Arg(300);
+
+// ------------------------------------------------------------ net layer --
+
+// A contended NetSchedule: many messages fanning out of one processor over
+// hypercube(3), so several links hold long reservation lists.
+NetSchedule contended_net(const TaskGraph& g, const RoutingTable& routes) {
+  NetSchedule ns(g, routes);
+  ns.tasks().place(0, 0, 0);
+  const int p = routes.topology().num_procs();
+  for (NodeId w = 1; w < g.num_nodes() - 1; ++w)
+    ns.commit_message(0, w, static_cast<int>(w * 5 % p));
+  return ns;
+}
+
+// One-to-all routing-tree sweep vs probing every destination separately:
+// the sweep touches each of the 7 tree links once; the per-destination
+// loop re-walks 12 route hops (the rescore loops of MH / DLS(APN) / BSA
+// are exactly this access pattern).
+void BM_Net_ProbeArrivalAll(benchmark::State& state) {
+  const TaskGraph g = fork_join(400, 10, 9);
+  const RoutingTable routes{Topology::hypercube(3)};
+  const NetSchedule ns = contended_net(g, routes);
+  const int p = routes.topology().num_procs();
+  std::vector<Time> out(static_cast<std::size_t>(p));
+  for (auto _ : state) {
+    Time acc = 0;
+    for (int src = 0; src < p; ++src) {
+      ns.probe_arrival_all(src, 9, 40 * src, out);
+      acc += out[p - 1];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_Net_ProbeArrivalAll);
+
+void BM_Net_ProbePerDestination(benchmark::State& state) {
+  const TaskGraph g = fork_join(400, 10, 9);
+  const RoutingTable routes{Topology::hypercube(3)};
+  const NetSchedule ns = contended_net(g, routes);
+  const int p = routes.topology().num_procs();
+  for (auto _ : state) {
+    Time acc = 0;
+    for (int src = 0; src < p; ++src)
+      for (int dst = 0; dst < p; ++dst)
+        acc += ns.probe_arrival(src, dst, 9, 40 * src);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_Net_ProbePerDestination);
+
+// Message commit/release churn against loaded link timelines (the BSA
+// migration pattern): every cycle routes a 3-hop message and releases it.
+void BM_Net_CommitReleaseChurn(benchmark::State& state) {
+  const TaskGraph g = fork_join(static_cast<NodeId>(state.range(0)), 10, 9);
+  const RoutingTable routes{Topology::hypercube(3)};
+  NetSchedule ns = contended_net(g, routes);
+  for (auto _ : state) {
+    // 0 -> 7 is the full-diameter route.
+    ns.release_message(0, 1);
+    benchmark::DoNotOptimize(ns.commit_message(0, 1, 7));
+    ns.release_message(0, 1);
+    benchmark::DoNotOptimize(ns.commit_message(0, 1, 5));
+  }
+}
+BENCHMARK(BM_Net_CommitReleaseChurn)->Arg(400)->Arg(1500);
+
 // ------------------------------------------------------ data structures --
 
 // Release back-to-front: the owner searched for always sits at the tail,
@@ -150,7 +228,44 @@ void BM_Timeline_InsertionFit(benchmark::State& state) {
     benchmark::DoNotOptimize(acc);
   }
 }
-BENCHMARK(BM_Timeline_InsertionFit)->Arg(1024);
+BENCHMARK(BM_Timeline_InsertionFit)->Arg(1024)->Arg(4096);
+
+// The contended-link pattern the gap index exists for: a packed timeline
+// where the only gap large enough sits near the tail, so the flat scan
+// walks almost the whole reservation list per probe while the gap tree
+// descends to it. 1k/4k intervals is what APN link timelines hold at
+// v=500 (the hot hypercube link holds ~8.7k).
+template <typename TL>
+void packed_timeline(TL& tl, int n) {
+  for (int i = 0; i < n; ++i)
+    if (i != (n * 9) / 10) tl.occupy(i, i * 10, 10);  // one idle slot
+}
+
+void BM_Timeline_PackedFit_Gap(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Timeline tl;
+  packed_timeline(tl, n);
+  for (auto _ : state) {
+    Time acc = 0;
+    for (int i = 0; i < 64; ++i)
+      acc += tl.earliest_fit(i * 13 % 1000, 5, /*insertion=*/true);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_Timeline_PackedFit_Gap)->Arg(1024)->Arg(4096);
+
+void BM_Timeline_PackedFit_Scan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  reference::FlatTimeline tl;
+  packed_timeline(tl, n);
+  for (auto _ : state) {
+    Time acc = 0;
+    for (int i = 0; i < 64; ++i)
+      acc += tl.earliest_fit(i * 13 % 1000, 5, /*insertion=*/true);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_Timeline_PackedFit_Scan)->Arg(1024)->Arg(4096);
 
 void BM_ReadyList_Churn(benchmark::State& state) {
   const TaskGraph g = bench_graph(static_cast<NodeId>(state.range(0)));

@@ -36,6 +36,35 @@ Time apn_probe_est(const NetSchedule& ns, NodeId n, int p, bool insertion) {
   return s.earliest_start_on(p, ready, g.weight(n), insertion);
 }
 
+void apn_probe_ready_all(const NetSchedule& ns, NodeId n,
+                         ApnSweepScratch& scratch) {
+  const TaskGraph& g = ns.graph();
+  const Schedule& s = ns.tasks();
+  const std::size_t nprocs =
+      static_cast<std::size_t>(ns.topology().num_procs());
+  scratch.arrival.resize(nprocs);
+  scratch.ready.assign(nprocs, 0);
+  for (const Adj& par : g.parents(n)) {
+    const Time ft = s.finish(par.node);
+    ns.probe_arrival_all(s.proc(par.node), par.cost, ft, scratch.arrival);
+    for (std::size_t p = 0; p < nprocs; ++p)
+      scratch.ready[p] = std::max(scratch.ready[p], scratch.arrival[p]);
+  }
+}
+
+void apn_probe_est_all(const NetSchedule& ns, NodeId n, bool insertion,
+                       ApnSweepScratch& scratch) {
+  apn_probe_ready_all(ns, n, scratch);
+  const Schedule& s = ns.tasks();
+  const std::size_t nprocs =
+      static_cast<std::size_t>(ns.topology().num_procs());
+  scratch.est.resize(nprocs);
+  for (std::size_t p = 0; p < nprocs; ++p)
+    scratch.est[p] = s.earliest_start_on(static_cast<ProcId>(p),
+                                         scratch.ready[p],
+                                         ns.graph().weight(n), insertion);
+}
+
 Time apn_commit_node(NetSchedule& ns, NodeId n, int p, bool insertion) {
   const TaskGraph& g = ns.graph();
   Schedule& s = ns.tasks();

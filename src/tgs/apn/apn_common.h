@@ -44,6 +44,22 @@ using ApnSchedulerPtr = std::unique_ptr<ApnScheduler>;
 /// the probe (exactness is restored at commit time).
 Time apn_probe_est(const NetSchedule& ns, NodeId n, int p, bool insertion);
 
+/// One-to-all data-ready times: fills scratch.ready[p] with the arrival
+/// maximum over n's parents on every processor by composing each parent's
+/// one-to-all routing-tree sweep (NetSchedule::probe_arrival_all) -- each
+/// parent touches each tree link once instead of re-walking its route per
+/// destination. Callers that only score a few processors (BSA's neighbour
+/// scan) combine this with Schedule::earliest_start_on themselves.
+void apn_probe_ready_all(const NetSchedule& ns, NodeId n,
+                         ApnSweepScratch& scratch);
+
+/// One-to-all variant: fills scratch.est[p] == apn_probe_est(ns, n, p,
+/// insertion) for EVERY processor on top of apn_probe_ready_all.
+/// Bit-identical to the per-processor probe; the full processor scans
+/// (MH, DLS(APN) rescore) read one sweep.
+void apn_probe_est_all(const NetSchedule& ns, NodeId n, bool insertion,
+                       ApnSweepScratch& scratch);
+
 /// Commit node `n` to processor `p`: routes one message per cross-processor
 /// parent edge (in ascending parent id), then places the task at the
 /// earliest feasible start. Returns the start time.

@@ -7,7 +7,6 @@ namespace tgs {
 
 NetSchedule BsaScheduler::do_run(const TaskGraph& g, const RoutingTable& routes,
                                  SchedWorkspace& ws) const {
-  (void)ws;
   const Topology& topo = routes.topology();
   const int pivot0 = topo.max_degree_proc();
 
@@ -46,11 +45,16 @@ NetSchedule BsaScheduler::do_run(const TaskGraph& g, const RoutingTable& routes,
       if (ns.tasks().proc(n) != pivot) continue;  // already bubbled away
       const Time cur_start = ns.tasks().start(n);
 
-      // Best adjacent processor by probed start time.
+      // Best adjacent processor by probed start time: one one-to-all
+      // arrival sweep, then ESTs for just the pivot's neighbours
+      // (bit-identical to per-neighbour apn_probe_est).
+      ApnSweepScratch& scratch = ws.apn_scratch();
+      apn_probe_ready_all(ns, n, scratch);
       int best_p = -1;
       Time best_est = cur_start;
       for (const Topology::Neighbor& nb : topo.neighbors(pivot)) {
-        const Time est = apn_probe_est(ns, n, nb.proc, /*insertion=*/true);
+        const Time est = ns.tasks().earliest_start_on(
+            nb.proc, scratch.ready[nb.proc], g.weight(n), /*insertion=*/true);
         if (est < best_est) {
           best_est = est;
           best_p = nb.proc;

@@ -39,11 +39,14 @@ NetSchedule DlsApnScheduler::do_run(const TaskGraph& g,
   // the current commit count. Every ready node is stamped at admission,
   // so stale values from earlier runs are never consulted.
   std::uint64_t commits = 0;
+  ApnSweepScratch& sweep = ws.apn_scratch();
   const auto rescore = [&](NodeId m) {
+    // One one-to-all sweep scores every processor (bit-identical to the
+    // per-processor apn_probe_est loop; strict < keeps smallest-id ties).
+    apn_probe_est_all(ns, m, /*insertion=*/false, sweep);
     ProcChoice pc{0, kTimeInf};
     for (int p = 0; p < nprocs; ++p) {
-      const Time est = apn_probe_est(ns, m, p, /*insertion=*/false);
-      if (est < pc.start) pc = {static_cast<ProcId>(p), est};
+      if (sweep.est[p] < pc.start) pc = {static_cast<ProcId>(p), sweep.est[p]};
     }
     scratch.best[m] = pc;
     scratch.stamp[m] = commits;

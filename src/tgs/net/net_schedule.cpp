@@ -47,6 +47,27 @@ Time NetSchedule::probe_arrival(int src_proc, int dst_proc, Cost size,
   return t;
 }
 
+void NetSchedule::probe_arrival_all(int src_proc, Cost size,
+                                    Time depart_after,
+                                    std::span<Time> out) const {
+  if (size <= 0) {
+    std::fill(out.begin(), out.end(), depart_after);
+    return;
+  }
+  out[src_proc] = depart_after;
+  // Parents precede children in the sweep, so out[st.parent] is final by
+  // the time the step crosses st.link.
+  for (const RoutingTable::SweepStep& st : routes_->sweep(src_proc))
+    out[st.proc] =
+        links_[st.link].earliest_fit(out[st.parent], size, /*insertion=*/true) +
+        size;
+}
+
+const Message* NetSchedule::find_message(NodeId u, NodeId v) const {
+  const auto it = messages_.find(msg_key(u, v));
+  return it == messages_.end() ? nullptr : &it->second;
+}
+
 void NetSchedule::release_message(NodeId u, NodeId v) {
   auto it = messages_.find(msg_key(u, v));
   if (it == messages_.end()) return;

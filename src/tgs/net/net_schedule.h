@@ -9,6 +9,7 @@
 // child may start only after the last hop completes.
 #pragma once
 
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -55,6 +56,15 @@ class NetSchedule {
   Time probe_arrival(int src_proc, int dst_proc, Cost size,
                      Time depart_after) const;
 
+  /// One-to-all probe: fills out[p] (out.size() == num_procs) with
+  /// probe_arrival(src_proc, p, size, depart_after) for every processor,
+  /// walking the shortest-path routing tree of src_proc so each tree link
+  /// is probed exactly once -- O(links) instead of O(procs x diameter)
+  /// for a per-destination sweep. Bit-identical to per-destination probes
+  /// (the path to p is a prefix-closed tree path; probes reserve nothing).
+  void probe_arrival_all(int src_proc, Cost size, Time depart_after,
+                         std::span<Time> out) const;
+
   /// Remove the committed message of edge (u, v), releasing its links.
   void release_message(NodeId u, NodeId v);
 
@@ -64,6 +74,11 @@ class NetSchedule {
 
   /// Committed messages sorted by (src, dst); rebuilt lazily.
   const std::vector<Message>& messages() const;
+
+  /// The committed message of edge (u, v), or nullptr -- a keyed hash
+  /// lookup (validation was an O(messages) scan per edge without it). The
+  /// pointer is invalidated by the next commit/release.
+  const Message* find_message(NodeId u, NodeId v) const;
 
   const Timeline& link_timeline(int link) const { return links_[link]; }
 

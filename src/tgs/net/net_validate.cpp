@@ -44,16 +44,10 @@ ValidationResult validate_net_schedule(const NetSchedule& ns) {
       }
   }
 
-  // Message per cross-proc edge.
+  // Message per cross-proc edge, looked up by key -- a linear scan of the
+  // message list per edge made validation quadratic, which dominated the
+  // table6 sweep wall-clock outside the timed region.
   const RoutingTable& routes = ns.routes();
-  // Index committed messages by (src, dst).
-  const auto& msgs = ns.messages();
-  auto find_msg = [&msgs](NodeId u, NodeId v) -> const Message* {
-    for (const Message& m : msgs)
-      if (m.src == u && m.dst == v) return &m;
-    return nullptr;
-  };
-
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     for (const Adj& e : g.children(u)) {
       const NodeId v = e.node;
@@ -65,7 +59,7 @@ ValidationResult validate_net_schedule(const NetSchedule& ns) {
         }
         continue;
       }
-      const Message* m = find_msg(u, v);
+      const Message* m = ns.find_message(u, v);
       if (m == nullptr) {
         std::ostringstream os;
         os << "missing message for cross-proc edge " << u << "->" << v;

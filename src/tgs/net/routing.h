@@ -3,8 +3,19 @@
 // Routes are computed once per topology by per-source BFS with smallest-id
 // tie-breaking, so every (src, dst) pair has one fixed path -- the paper's
 // APN algorithms assume a routing table, not adaptive routing.
+//
+// Two structural consequences of the per-source BFS are exposed:
+//  * All P^2 paths live in one CSR arena (offset/length views) instead of
+//    a vector-of-vectors -- one allocation, cache-dense iteration.
+//  * The routes out of one source form a shortest-path tree (the path to
+//    any destination is a prefix-closed tree path), published as the
+//    per-source sweep(): the tree's P-1 edges in BFS order, parents before
+//    children. NetSchedule::probe_arrival_all walks it to probe the
+//    arrival at ALL destinations touching each link exactly once.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tgs/net/topology.h"
@@ -20,13 +31,33 @@ class RoutingTable {
   const Topology& topology() const { return topo_; }
 
   /// Link ids along the route src -> dst (empty when src == dst).
-  const std::vector<int>& path_links(int src, int dst) const {
-    return paths_[index(src, dst)];
+  std::span<const std::int32_t> path_links(int src, int dst) const {
+    const std::size_t i = index(src, dst);
+    return {path_data_.data() + path_off_[i], path_off_[i + 1] - path_off_[i]};
   }
 
   /// Hop count of the route.
   int distance(int src, int dst) const {
-    return static_cast<int>(paths_[index(src, dst)].size());
+    const std::size_t i = index(src, dst);
+    return static_cast<int>(path_off_[i + 1] - path_off_[i]);
+  }
+
+  /// One edge of a source's shortest-path routing tree: the message on the
+  /// route to `proc` crosses `link` after reaching `parent` (the previous
+  /// processor on the route; == src at depth 1).
+  struct SweepStep {
+    std::int32_t proc;
+    std::int32_t parent;
+    std::int32_t link;
+  };
+
+  /// The P-1 routing-tree edges out of `src`, in BFS order (every parent
+  /// appears as `proc` before it appears as `parent`), ascending peer id
+  /// within a parent. A one-to-all arrival sweep is one forward walk.
+  std::span<const SweepStep> sweep(int src) const {
+    const std::size_t n =
+        static_cast<std::size_t>(topo_.num_procs()) - 1;
+    return {sweep_.data() + static_cast<std::size_t>(src) * n, n};
   }
 
  private:
@@ -35,7 +66,9 @@ class RoutingTable {
   }
 
   Topology topo_;
-  std::vector<std::vector<int>> paths_;
+  std::vector<std::int32_t> path_data_;  // CSR arena of all P^2 paths
+  std::vector<std::uint32_t> path_off_;  // P^2 + 1 offsets into path_data_
+  std::vector<SweepStep> sweep_;         // P * (P-1) routing-tree edges
 };
 
 }  // namespace tgs

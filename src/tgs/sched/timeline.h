@@ -6,6 +6,17 @@
 // duration-long block, either appended after the last interval
 // (non-insertion list scheduling) or placed into the first sufficiently
 // large idle gap (insertion-based scheduling, paper §3 "ISH/MCP style").
+//
+// Storage is gap-indexed: intervals live in bounded sorted chunks, each
+// summarized by its largest internal idle gap, with a max segment tree
+// over the per-chunk summaries. An insertion-mode fit therefore descends
+// the tree to the first chunk that can hold the block instead of scanning
+// the interval list -- APN link timelines accumulate thousands of message
+// reservations and every (node, processor) probe queries them. Occupying
+// or releasing an interval touches one chunk (bounded memmove) plus a
+// segment-tree path, not the whole list. Queries are exact: the chunked
+// store answers every call bit-identically to a flat sorted vector
+// (tests/test_timeline.cpp churns both against each other).
 #pragma once
 
 #include <cstdint>
@@ -36,8 +47,10 @@ class Timeline {
   /// True if [start, start+dur) does not overlap any existing interval.
   bool fits(Time start, Cost dur) const;
 
-  /// Insert an interval; throws std::logic_error if it overlaps. The
-  /// overlap check and the insertion point come out of one binary search.
+  /// Insert an interval; throws std::logic_error if it overlaps. Equal
+  /// start times order by end (zero-width intervals first, so interval
+  /// ends stay globally non-decreasing); identical (start, end) pairs
+  /// keep insertion-before-existing order.
   void occupy(std::int64_t owner, Time start, Cost dur);
 
   /// Remove the interval with this owner; returns false if absent.
@@ -46,29 +59,76 @@ class Timeline {
 
   /// Remove the interval with this owner whose start time is known to the
   /// caller (schedulers track where they placed things): binary-searches
-  /// the sorted interval list instead of scanning it, falling back to the
-  /// linear scan if no interval with this owner sits at `start_hint`.
+  /// the chunked interval store instead of scanning it, falling back to
+  /// the linear scan if no interval with this owner sits at `start_hint`.
   bool release(std::int64_t owner, Time start_hint);
 
   /// Remove all intervals.
-  void clear() { intervals_.clear(); }
+  void clear();
 
   /// End of the last interval (0 when empty).
-  Time end_time() const {
-    return intervals_.empty() ? 0 : intervals_.back().end;
-  }
+  Time end_time() const { return end_time_; }
 
-  bool empty() const { return intervals_.empty(); }
-  std::size_t size() const { return intervals_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
-  /// Intervals sorted by start time.
-  const std::vector<Interval>& intervals() const { return intervals_; }
+  /// Intervals sorted by start time, flattened out of the chunked store.
+  std::vector<Interval> intervals() const;
 
   /// Total busy time.
   Time busy_time() const;
 
  private:
-  std::vector<Interval> intervals_;  // sorted by start, non-overlapping
+  // Chunk capacity: split at > kSplit into two halves. Bounds the in-chunk
+  // scan of every query and the memmove of every occupy/release.
+  static constexpr std::size_t kSplit = 48;
+
+  struct Chunk {
+    std::vector<Interval> ivs;  // sorted by start, non-overlapping
+    Time max_gap = 0;           // largest idle gap BETWEEN consecutive ivs
+
+    Time first_start() const { return ivs.front().start; }
+    Time last_end() const { return ivs.back().end; }
+  };
+
+  /// Index of the first chunk whose last interval ends after `t`
+  /// (chunks_.size() when none). Interval ends are globally
+  /// non-decreasing, so this is a binary search over chunk tails.
+  std::size_t chunk_by_end(Time t) const;
+
+  /// Index of the chunk that owns the sorted position of the (start, end)
+  /// key (first chunk whose last interval's key is not below it; the last
+  /// chunk when the key exceeds every interval's). Intervals are ordered
+  /// lexicographically by (start, end) -- with disjointness this keeps
+  /// interval ends globally non-decreasing, which chunk_by_end and the
+  /// in-chunk end searches rely on. Pass end = kTimeNegInf to locate the
+  /// first interval with this start.
+  std::size_t chunk_by_start(Time start, Time end) const;
+
+  /// Gap between chunk c and its predecessor (0 for chunk 0: the gap
+  /// before the first interval is handled by the query's ready cursor).
+  Time gap_before(std::size_t c) const;
+
+  /// Segment-tree leaf value of chunk c: the largest idle gap reachable by
+  /// entering this chunk from the previous one.
+  Time leaf_key(std::size_t c) const;
+
+  void recompute_chunk(std::size_t c);       // max_gap, leaves c and c+1
+  void update_leaf(std::size_t c);           // one O(log C) path
+  void rebuild_tree();                       // chunk count changed
+  void split_chunk(std::size_t c);           // kSplit overflow
+  void erase_interval(std::size_t c, std::size_t pos);
+
+  /// First chunk index >= lo whose leaf key can hold `dur`; -1 if none.
+  int first_chunk_with_gap(std::size_t lo, Cost dur) const;
+  int tree_query(std::size_t node, std::size_t l, std::size_t r,
+                 std::size_t lo, Cost dur) const;
+
+  std::vector<Chunk> chunks_;  // non-empty, ordered
+  std::vector<Time> tree_;     // max segment tree over leaf_key(c)
+  std::size_t tree_base_ = 0;  // leaf offset (power of two >= chunk count)
+  std::size_t size_ = 0;       // total interval count
+  Time end_time_ = 0;          // end of the last interval
 };
 
 }  // namespace tgs

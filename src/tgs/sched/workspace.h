@@ -12,6 +12,9 @@
 //  * PairScratch -- the flat per-node pools of the incremental
 //    (ready node, processor) pair selectors (bnp/bnp_common.h). Stored
 //    behind a pointer so sched/ does not include bnp/ headers.
+//  * ApnSweepScratch -- the per-processor buffers of the one-to-all APN
+//    probes (apn/apn_common.h), so the per-step sweeps of MH / DLS(APN) /
+//    BSA allocate nothing in steady state.
 //
 // Results never depend on workspace contents -- it only recycles capacity
 // -- so sharing one workspace across algorithms or reusing it across
@@ -21,12 +24,23 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "tgs/graph/attributes.h"
 
 namespace tgs {
 
 struct PairScratch;  // bnp/bnp_common.h
+
+/// Reusable per-processor buffers of the one-to-all APN probes
+/// (apn_probe_est_all): one arrival sweep, the running data-ready maxima,
+/// and the per-processor EST output. Capacity-only state -- contents never
+/// outlive one probe.
+struct ApnSweepScratch {
+  std::vector<Time> arrival;
+  std::vector<Time> ready;
+  std::vector<Time> est;
+};
 
 class SchedWorkspace {
  public:
@@ -49,10 +63,14 @@ class SchedWorkspace {
   /// Pair-selector pools, sized for the bound graph.
   PairScratch& pair_scratch() { return *pair_; }
 
+  /// One-to-all APN probe buffers (sized by callers per topology).
+  ApnSweepScratch& apn_scratch() { return apn_; }
+
  private:
   const TaskGraph* graph_ = nullptr;
   GraphAttributeCache attrs_;
   std::unique_ptr<PairScratch> pair_;
+  ApnSweepScratch apn_;
 };
 
 }  // namespace tgs

@@ -1,0 +1,70 @@
+// The retired flat sorted-vector Timeline: one std::vector<Interval> with
+// linear-scan insertion fits and O(n) memmove occupy. It is the ground
+// truth the gap-indexed chunked Timeline must answer bit-identically to
+// (tests/test_timeline.cpp) and the baseline the tgs_perf timeline
+// benchmarks measure the gap index against.
+//
+// Deliberately a straight copy of the retired code -- do not "optimize"
+// it; its simplicity is the point.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "tgs/sched/timeline.h"
+
+namespace tgs::reference {
+
+class FlatTimeline {
+ public:
+  Time earliest_fit(Time ready, Cost dur, bool insertion) const {
+    if (ivs_.empty()) return ready;
+    if (!insertion) return std::max(ready, ivs_.back().end);
+    if (dur == 0) return ready;
+    auto it = std::lower_bound(
+        ivs_.begin(), ivs_.end(), ready,
+        [](const Interval& iv, Time t) { return iv.end <= t; });
+    Time candidate = ready;
+    for (; it != ivs_.end(); ++it) {
+      if (candidate + dur <= it->start) return candidate;
+      candidate = std::max(candidate, it->end);
+    }
+    return candidate;
+  }
+
+  bool fits(Time start, Cost dur) const {
+    auto it = std::lower_bound(
+        ivs_.begin(), ivs_.end(), start,
+        [](const Interval& iv, Time t) { return iv.end <= t; });
+    if (it == ivs_.end()) return true;
+    return it->start >= start + dur;
+  }
+
+  void occupy(std::int64_t owner, Time start, Cost dur) {
+    auto it = std::lower_bound(
+        ivs_.begin(), ivs_.end(), start,
+        [](const Interval& iv, Time t) { return iv.end <= t; });
+    if (it != ivs_.end() && it->start < start + dur)
+      throw std::logic_error("overlap");
+    while (it != ivs_.begin() && std::prev(it)->start >= start) --it;
+    ivs_.insert(it, Interval{start, start + dur, owner});
+  }
+
+  bool release(std::int64_t owner) {
+    auto it = std::find_if(
+        ivs_.begin(), ivs_.end(),
+        [owner](const Interval& iv) { return iv.owner == owner; });
+    if (it == ivs_.end()) return false;
+    ivs_.erase(it);
+    return true;
+  }
+
+  std::size_t size() const { return ivs_.size(); }
+  const std::vector<Interval>& intervals() const { return ivs_; }
+
+ private:
+  std::vector<Interval> ivs_;  // sorted by start, non-overlapping
+};
+
+}  // namespace tgs::reference

@@ -104,6 +104,139 @@ TEST(ApnCommon, ProbeNeverBeatsCommit) {
   EXPECT_TRUE(validate_net_schedule(ns).ok);
 }
 
+/// Small DAG with zero-cost edges and heavy fan-in: the probe-sweep edge
+/// cases (instantaneous messages, many co-located parents).
+TaskGraph zero_cost_mix() {
+  TaskGraphBuilder b("zero_cost_mix");
+  for (int i = 0; i < 10; ++i) b.add_node(5 + i);
+  b.add_edge(0, 3, 0);
+  b.add_edge(0, 4, 12);
+  b.add_edge(1, 4, 0);
+  b.add_edge(1, 5, 30);
+  b.add_edge(2, 5, 0);
+  b.add_edge(3, 6, 7);
+  b.add_edge(4, 6, 0);
+  b.add_edge(5, 6, 25);
+  b.add_edge(3, 7, 0);
+  b.add_edge(4, 7, 0);
+  b.add_edge(6, 8, 40);
+  b.add_edge(7, 8, 0);
+  b.add_edge(6, 9, 1);
+  b.add_edge(7, 9, 2);
+  return b.finalize();
+}
+
+TEST(ApnCommon, ProbeEstAllMatchesPerProcessor) {
+  // One-to-all EST sweeps against per-processor probes, at every step of a
+  // contended build-up (messages committed between probes), including
+  // zero-cost edges and co-located parents.
+  std::vector<TaskGraph> graphs = apn_zoo();
+  graphs.push_back(zero_cost_mix());
+  for (const auto& topo : topo_zoo()) {
+    const RoutingTable routes(topo);
+    const int nprocs = topo.num_procs();
+    for (const auto& g : graphs) {
+      NetSchedule ns(g, routes);
+      ApnSweepScratch scratch;
+      int i = 0;
+      for (NodeId n : blevel_order(g)) {
+        for (const bool insertion : {false, true}) {
+          apn_probe_est_all(ns, n, insertion, scratch);
+          for (int p = 0; p < nprocs; ++p)
+            ASSERT_EQ(scratch.est[p], apn_probe_est(ns, n, p, insertion))
+                << g.name() << " on " << topo.name() << " node " << n
+                << " proc " << p << " insertion " << insertion;
+        }
+        // Clustered placement co-locates consecutive nodes (zero-hop
+        // parents) while still crossing links regularly.
+        apn_commit_node(ns, n, (i++ / 2) % nprocs, /*insertion=*/false);
+      }
+    }
+  }
+}
+
+// Golden APN schedules on multi-hop topologies: exact (proc, start) of
+// every task, captured from the pre-gap-index/pre-sweep implementation.
+// Guards the byte-identical contract of the fast network core on routes
+// longer than one hop (the JSONL goldens cover hypercube(3) only).
+TEST(Apn, GoldenSchedulesOnMultiHopTopologies) {
+  RgnosParams p;
+  p.num_nodes = 60;
+  p.ccr = 2.0;
+  p.parallelism = 3;
+  p.seed = 424242;
+  const TaskGraph g = rgnos_graph(p);
+  const RoutingTable ring6{Topology::ring(6)};
+  const RoutingTable mesh23{Topology::mesh(2, 3)};
+
+  using PS = std::pair<ProcId, Time>;
+  const auto expect_schedule = [&](const NetSchedule& ns,
+                                   const std::vector<PS>& want,
+                                   const char* label) {
+    ASSERT_EQ(want.size(), g.num_nodes()) << label;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      EXPECT_EQ(ns.tasks().proc(n), want[n].first) << label << " node " << n;
+      EXPECT_EQ(ns.tasks().start(n), want[n].second) << label << " node " << n;
+    }
+  };
+
+  const NetSchedule mh = MhScheduler().run(g, ring6);
+  EXPECT_EQ(mh.makespan(), 6978);
+  expect_schedule(
+      mh,
+      {{4,99},{4,110},{0,0},{2,43},{5,92},{3,59},{5,0},{2,76},{1,73},{4,77},
+       {5,49},{0,67},{5,832},{3,0},{4,0},{2,0},{3,105},{5,88},{0,100},{0,70},
+       {1,0},{4,68},{5,875},{4,1193},{0,321},{2,701},{2,1621},{3,478},
+       {2,1498},{4,1392},{5,786},{1,1311},{4,1554},{1,1084},{1,1188},{3,599},
+       {3,1203},{5,695},{1,857},{0,386},{2,914},{0,551},{3,3550},{3,1804},
+       {1,635},{5,180},{3,1238},{2,581},{1,579},{1,5933},{1,4639},{0,4047},
+       {1,5318},{1,1959},{0,5035},{0,2676},{1,3232},{1,6611},{4,6946},
+       {1,5613}},
+      "MH/ring6");
+
+  const NetSchedule dls = DlsApnScheduler().run(g, ring6);
+  EXPECT_EQ(dls.makespan(), 5885);
+  expect_schedule(
+      dls,
+      {{2,101},{2,112},{3,0},{0,68},{1,73},{4,73},{3,67},{2,0},{2,55},
+       {5,109},{0,104},{0,101},{5,171},{5,0},{0,0},{4,0},{1,113},{4,119},
+       {5,59},{4,43},{1,0},{3,116},{3,176},{4,1194},{4,634},{5,131},{3,571},
+       {4,297},{5,1715},{3,1411},{1,1453},{3,780},{1,1803},{5,1494},{0,293},
+       {1,190},{2,349},{4,944},{1,540},{4,243},{5,337},{0,435},{0,1021},
+       {1,2238},{1,145},{3,125},{4,163},{0,167},{1,2070},{0,3811},{1,4410},
+       {4,4594},{5,3106},{1,2984},{5,2140},{1,2711},{1,3548},{2,5006},
+       {5,5481},{3,5808}},
+      "DLS-APN/ring6");
+
+  const NetSchedule bu = BuScheduler().run(g, ring6);
+  EXPECT_EQ(bu.makespan(), 6053);
+  expect_schedule(
+      bu,
+      {{0,55},{1,713},{1,0},{1,359},{1,557},{1,431},{1,310},{0,0},{1,489},
+       {1,535},{1,392},{1,477},{5,0},{1,183},{1,242},{1,140},{1,704},{2,30},
+       {0,66},{2,0},{1,67},{1,480},{4,0},{2,1027},{1,784},{1,1032},{0,1375},
+       {0,873},{2,1773},{1,1352},{1,1072},{1,1243},{1,2027},{2,1215},
+       {1,1193},{2,793},{2,1914},{1,933},{1,1118},{1,849},{1,1148},{0,600},
+       {0,3520},{1,2478},{1,987},{1,653},{2,2047},{1,879},{1,597},{3,5546},
+       {2,3919},{0,3206},{2,4528},{0,2364},{0,4177},{1,2405},{1,2525},
+       {2,5987},{1,6021},{0,5262}},
+      "BU/ring6");
+
+  const NetSchedule bsa = BsaScheduler().run(g, mesh23);
+  EXPECT_EQ(bsa.makespan(), 2082);
+  expect_schedule(
+      bsa,
+      {{3,39},{5,68},{1,0},{1,67},{2,43},{1,100},{4,59},{1,225},{1,179},
+       {1,280},{3,0},{1,146},{3,50},{4,0},{5,0},{2,0},{1,463},{1,302},
+       {1,306},{1,149},{0,0},{4,108},{2,83},{1,1082},{1,472},{1,840},
+       {1,1340},{1,683},{1,1267},{1,1194},{1,903},{1,1173},{1,1496},
+       {1,1104},{1,1024},{1,880},{1,1294},{1,741},{1,949},{1,537},{1,979},
+       {1,567},{1,1439},{1,1648},{1,795},{1,412},{1,1363},{1,629},{1,356},
+       {1,1933},{1,1758},{1,1735},{1,1469},{1,1391},{1,1804},{1,1543},
+       {1,1694},{1,2008},{1,2050},{1,1856}},
+      "BSA/mesh23");
+}
+
 TEST(Bsa, StartsFromMaxDegreePivotAndImproves) {
   // BSA must never be worse than the serial injection it starts from.
   const TaskGraph g = psg_canonical9();

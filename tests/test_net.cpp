@@ -1,15 +1,31 @@
-// Tests for the network substrate: topologies, routing, message
-// scheduling, APN validation.
+// Tests for the network substrate: topologies, routing (CSR paths and the
+// per-source routing-tree sweep), message scheduling, one-to-all probes,
+// APN validation.
 #include <gtest/gtest.h>
+
+#include <vector>
 
 #include "tgs/gen/structured.h"
 #include "tgs/net/net_schedule.h"
 #include "tgs/net/net_validate.h"
 #include "tgs/net/routing.h"
 #include "tgs/net/topology.h"
+#include "tgs/util/rng.h"
 
 namespace tgs {
 namespace {
+
+std::vector<Topology> probe_topo_zoo() {
+  std::vector<Topology> topos;
+  topos.push_back(Topology::ring(7));
+  topos.push_back(Topology::mesh(3, 3));
+  topos.push_back(Topology::hypercube(3));
+  topos.push_back(Topology::star(6));
+  topos.push_back(Topology::fully_connected(5));
+  topos.push_back(Topology::random_connected(9, 0.25, 11));
+  topos.push_back(Topology::random_connected(12, 0.1, 23));
+  return topos;
+}
 
 TEST(Topology, CliqueCounts) {
   const Topology t = Topology::fully_connected(6);
@@ -103,6 +119,81 @@ TEST(Routing, PathsUseAdjacentLinks) {
       }
       EXPECT_EQ(cur, b);
     }
+}
+
+TEST(Routing, SweepIsTheRoutingTreeInParentFirstOrder) {
+  for (const Topology& t : probe_topo_zoo()) {
+    const RoutingTable r(t);
+    const int p = t.num_procs();
+    for (int src = 0; src < p; ++src) {
+      const auto steps = r.sweep(src);
+      ASSERT_EQ(steps.size(), static_cast<std::size_t>(p - 1));
+      std::vector<bool> reached(p, false);
+      reached[src] = true;
+      for (const RoutingTable::SweepStep& st : steps) {
+        // Parents precede children, every step crosses a real link, and
+        // the step's route is the parent's route plus one hop.
+        EXPECT_TRUE(reached[st.parent]);
+        EXPECT_FALSE(reached[st.proc]);
+        reached[st.proc] = true;
+        EXPECT_EQ(t.link_between(st.parent, st.proc), st.link);
+        const auto parent_path = r.path_links(src, st.parent);
+        const auto path = r.path_links(src, st.proc);
+        ASSERT_EQ(path.size(), parent_path.size() + 1);
+        for (std::size_t h = 0; h < parent_path.size(); ++h)
+          EXPECT_EQ(path[h], parent_path[h]);
+        EXPECT_EQ(path.back(), st.link);
+      }
+      for (int dst = 0; dst < p; ++dst) EXPECT_TRUE(reached[dst]);
+    }
+  }
+}
+
+TEST(NetSchedule, ProbeArrivalAllMatchesPerDestination) {
+  // One-to-all routing-tree sweeps against per-destination probes, under
+  // random link contention: commit messages from a synthetic fan-out
+  // graph, then compare every (src, size, depart) sweep.
+  const TaskGraph g = fork_join(40, 10, 25);
+  for (const Topology& topo : probe_topo_zoo()) {
+    const RoutingTable routes(topo);
+    const int p = topo.num_procs();
+    Rng rng(2026);
+    NetSchedule ns(g, routes);
+    ns.tasks().place(0, 0, 0);  // fork node feeds all messages
+    int committed = 0;
+    for (NodeId w = 1; w <= 40; ++w) {
+      const int dst = static_cast<int>(rng.uniform_int(0, p - 1));
+      if (dst != 0) ++committed;
+      ns.commit_message(0, w, dst);  // co-located commits are no-ops
+    }
+    ASSERT_GT(committed, 0);
+    std::vector<Time> all(static_cast<std::size_t>(p));
+    for (int src = 0; src < p; ++src) {
+      for (const Cost size : {0, 3, 25, 400}) {
+        const Time depart = rng.uniform_int(0, 500);
+        ns.probe_arrival_all(src, size, depart, all);
+        for (int dst = 0; dst < p; ++dst)
+          EXPECT_EQ(all[dst], ns.probe_arrival(src, dst, size, depart))
+              << topo.name() << " src=" << src << " dst=" << dst
+              << " size=" << size << " depart=" << depart;
+      }
+    }
+  }
+}
+
+TEST(NetSchedule, FindMessageIsKeyed) {
+  const TaskGraph g = fork_join(2, 10, 8);
+  const RoutingTable routes{Topology::ring(4)};
+  NetSchedule ns(g, routes);
+  ns.tasks().place(0, 0, 0);
+  ns.commit_message(0, 1, 1);
+  ASSERT_NE(ns.find_message(0, 1), nullptr);
+  EXPECT_EQ(ns.find_message(0, 1)->src, 0u);
+  EXPECT_EQ(ns.find_message(0, 1)->dst, 1u);
+  EXPECT_EQ(ns.find_message(0, 2), nullptr);
+  EXPECT_EQ(ns.find_message(1, 0), nullptr);  // direction matters
+  ns.release_message(0, 1);
+  EXPECT_EQ(ns.find_message(0, 1), nullptr);
 }
 
 TEST(NetSchedule, MessageHopsAndContention) {

@@ -1,11 +1,19 @@
 // Unit tests for sched/timeline.h: insertion-slot queries, occupancy
-// invariants, release.
+// invariants, release, and the gap-indexed chunked store's equivalence to
+// a flat sorted interval list under adversarial churn.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "reference_timeline.h"
 #include "tgs/sched/timeline.h"
+#include "tgs/util/rng.h"
 
 namespace tgs {
 namespace {
+
+using reference::FlatTimeline;
 
 TEST(Timeline, EmptyFitsAnywhere) {
   Timeline tl;
@@ -152,6 +160,131 @@ TEST(Timeline, ReleaseWithHintThenReoccupySameSlot) {
   tl.occupy(99, 250, 10);
   EXPECT_EQ(tl.size(), 50u);
   EXPECT_EQ(tl.intervals()[25].owner, 99);
+}
+
+TEST(Timeline, ManyIntervalsCrossChunkBoundaries) {
+  // Enough intervals to force chunk splits; fits must land in the exact
+  // gaps a flat scan would find, including gaps straddling chunk seams.
+  Timeline tl;
+  for (int i = 0; i < 500; ++i) tl.occupy(i, i * 10, 8);  // gaps of 2
+  EXPECT_EQ(tl.earliest_fit(0, 2, true), 8);
+  EXPECT_EQ(tl.earliest_fit(1234, 2, true), 1238);
+  EXPECT_EQ(tl.earliest_fit(0, 3, true), 4998);  // only after the last
+  // Open one interior gap and find it from far to the left.
+  EXPECT_TRUE(tl.release(300, 3000));
+  EXPECT_EQ(tl.earliest_fit(0, 3, true), 2998);   // [2998, 3010) is idle
+  EXPECT_EQ(tl.earliest_fit(0, 12, true), 2998);  // exactly fills it
+  EXPECT_EQ(tl.earliest_fit(0, 13, true), 4998);
+  EXPECT_EQ(tl.earliest_fit(2999, 3, true), 2999);
+  tl.occupy(300, 3000, 8);  // restore
+  EXPECT_EQ(tl.earliest_fit(0, 3, true), 4998);
+}
+
+TEST(Timeline, GapIndexMatchesFlatReferenceUnderChurn) {
+  // Random occupy/release/query churn (the BSA-migration and B&B
+  // backtracking pattern) on both stores; every query must agree and the
+  // interval sequences must stay identical. Durations include zero-width
+  // blocks; starts collide on purpose (dense value range).
+  for (std::uint64_t seed : {1ull, 7ull, 1998ull}) {
+    Rng rng(seed);
+    Timeline tl;
+    FlatTimeline ref;
+    std::vector<std::pair<std::int64_t, Time>> live;  // owner -> start
+    std::int64_t next_owner = 0;
+    for (int step = 0; step < 4000; ++step) {
+      const int op = static_cast<int>(rng.uniform_int(0, 9));
+      if (op < 5 || live.empty()) {  // occupy at the earliest fitting slot
+        const Time ready = rng.uniform_int(0, 3000);
+        const Cost dur = rng.uniform_int(1, 40);
+        const Time at = tl.earliest_fit(ready, dur, true);
+        ASSERT_EQ(at, ref.earliest_fit(ready, dur, true));
+        tl.occupy(next_owner, at, dur);
+        ref.occupy(next_owner, at, dur);
+        live.emplace_back(next_owner, at);
+        ++next_owner;
+      } else if (op < 8) {  // release, hinted or not
+        const std::size_t i =
+            static_cast<std::size_t>(rng.uniform_int(0, live.size() - 1));
+        const auto [owner, start] = live[i];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        const bool hinted = rng.bernoulli(0.7);
+        ASSERT_TRUE(hinted ? tl.release(owner, start) : tl.release(owner));
+        ASSERT_TRUE(ref.release(owner));
+      } else {  // probe-only round
+        const Time ready = rng.uniform_int(0, 4000);
+        const Cost dur = rng.uniform_int(0, 60);
+        EXPECT_EQ(tl.earliest_fit(ready, dur, true),
+                  ref.earliest_fit(ready, dur, true));
+        EXPECT_EQ(tl.earliest_fit(ready, dur, false),
+                  ref.earliest_fit(ready, dur, false));
+        EXPECT_EQ(tl.fits(ready, dur), ref.fits(ready, dur));
+      }
+      if (step % 256 == 0) {
+        ASSERT_EQ(tl.intervals(), ref.intervals());
+        ASSERT_EQ(tl.size(), ref.intervals().size());
+      }
+    }
+    EXPECT_EQ(tl.intervals(), ref.intervals());
+    EXPECT_EQ(tl.busy_time(), [&] {
+      Time t = 0;
+      for (const Interval& iv : ref.intervals()) t += iv.end - iv.start;
+      return t;
+    }());
+  }
+}
+
+TEST(Timeline, ReleaseEverythingThenReuse) {
+  Timeline tl;
+  for (int i = 0; i < 200; ++i) tl.occupy(i, i * 5, 5);  // back-to-back
+  for (int i = 0; i < 200; i += 2) EXPECT_TRUE(tl.release(i, i * 5));
+  EXPECT_EQ(tl.size(), 100u);
+  EXPECT_EQ(tl.earliest_fit(0, 5, true), 0);  // even slots are free again
+  for (int i = 0; i < 200; i += 2) tl.occupy(1000 + i, i * 5, 5);
+  EXPECT_EQ(tl.size(), 200u);
+  EXPECT_EQ(tl.earliest_fit(0, 1, true), 1000);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_TRUE(tl.release(i % 2 == 0 ? 1000 + i : i, i * 5));
+  EXPECT_TRUE(tl.empty());
+  EXPECT_EQ(tl.end_time(), 0);
+  EXPECT_EQ(tl.earliest_fit(3, 10, true), 3);
+}
+
+TEST(Timeline, ZeroWidthIntervalsShareAStart) {
+  // Zero-width intervals (defensive: TaskGraphBuilder forbids zero weights)
+  // may share a start; insertion order at an equal start is newest-first
+  // (what the flat store did), and they never block real blocks.
+  Timeline tl;
+  tl.occupy(1, 10, 5);
+  tl.occupy(2, 10, 0);
+  tl.occupy(3, 10, 0);
+  const auto ivs = tl.intervals();
+  ASSERT_EQ(ivs.size(), 3u);
+  EXPECT_EQ(ivs[0].owner, 3);  // newest first at the shared start
+  EXPECT_EQ(ivs[1].owner, 2);
+  EXPECT_EQ(ivs[2].owner, 1);
+  EXPECT_THROW(tl.occupy(4, 9, 2), std::logic_error);
+  EXPECT_TRUE(tl.release(2, 10));
+  EXPECT_TRUE(tl.release(1, 10));
+  EXPECT_EQ(tl.earliest_fit(0, 100, true), 10);  // [10,10) doesn't block
+}
+
+TEST(Timeline, RealBlockAfterZeroWidthAtSameStart) {
+  // A positive-duration block landing on a zero-width interval's start
+  // must sort AFTER it (ends stay non-decreasing) and stay visible to
+  // every query; this order is what keeps the chunked searches sound.
+  Timeline tl;
+  tl.occupy(1, 10, 0);
+  tl.occupy(2, 10, 5);
+  const auto ivs = tl.intervals();
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_EQ(ivs[0].owner, 1);  // zero-width first
+  EXPECT_EQ(ivs[1].owner, 2);
+  EXPECT_EQ(tl.earliest_fit(12, 3, true), 15);
+  EXPECT_EQ(tl.earliest_fit(0, 3, true), 0);
+  EXPECT_FALSE(tl.fits(12, 3));
+  EXPECT_THROW(tl.occupy(3, 12, 1), std::logic_error);
+  EXPECT_TRUE(tl.release(2, 10));
+  EXPECT_EQ(tl.end_time(), 10);
 }
 
 }  // namespace
