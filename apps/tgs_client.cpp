@@ -1,0 +1,122 @@
+// tgs_client: command-line client for the tgs_serve daemon.
+//
+//   ./tgs_client graph.tgs --algo=MCP --procs=4
+//   ./tgs_client graph.tgs --algo=MH --topology=ring4 --schedule --out=g.sched
+//   ./tgs_client graph.tgs --algo=MCP,ETF,DLS --repeat=2
+//   ./tgs_client --stats | --ping | --shutdown
+//
+// Requests go out sequentially (send, await the reply, send the next), so
+// "--repeat=2" genuinely exercises the daemon's schedule cache: the second
+// submission fingerprints identically and must come back "cached":true.
+// Raw response JSON is printed one line per request; exit status is 0 only
+// if every response had "status":"ok".
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tgs/exec/jsonl.h"
+#include "tgs/serve/json.h"
+#include "tgs/serve/socket.h"
+#include "tgs/util/cli.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Send one line, await one line. The daemon may interleave responses to
+// *pipelined* requests, but a strict request/reply client never pipelines.
+std::string round_trip(tgs::UnixConn& conn, const std::string& request) {
+  conn.write_line(request);
+  std::string reply;
+  if (!conn.read_line(&reply))
+    throw std::runtime_error("server closed the connection");
+  return reply;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tgs;
+  const Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf(
+        "usage: tgs_client [graph.tgs] [--socket=PATH] [--algo=A[,B...]]\n"
+        "                  [--procs=N | --topology=SPEC] [--repeat=N]\n"
+        "                  [--schedule] [--out=FILE] [--no-cache] [--quiet]\n"
+        "                  [--stats] [--ping] [--shutdown]\n");
+    return 0;
+  }
+
+  try {
+    const std::string socket_path = cli.get("socket", "/tmp/tgs_serve.sock");
+    UnixConn conn = UnixConn::connect(socket_path);
+
+    // Admin ops: fire the one op and report.
+    for (const char* op : {"stats", "ping", "shutdown"}) {
+      if (!cli.has(op)) continue;
+      JsonObject o;
+      o.add("op", op);
+      const std::string reply = round_trip(conn, o.str());
+      std::printf("%s\n", reply.c_str());
+      return json_parse(reply).get_string("status", "") == "ok" ? 0 : 1;
+    }
+
+    if (cli.positional().empty()) {
+      std::fprintf(stderr, "tgs_client: no graph file (see --help)\n");
+      return 1;
+    }
+    const std::string graph_text = read_file(cli.positional()[0]);
+    const std::vector<std::string> algos = cli.get_list("algo");
+    if (algos.empty()) {
+      std::fprintf(stderr, "tgs_client: no --algo given\n");
+      return 1;
+    }
+    const long repeat = cli.get_int("repeat", 1);
+    const bool want_schedule = cli.has("schedule") || cli.has("out");
+
+    bool all_ok = true;
+    int seq = 0;
+    for (long r = 0; r < repeat; ++r) {
+      for (const std::string& algo : algos) {
+        JsonObject o;
+        o.add("id", "c" + std::to_string(seq++))
+            .add("algo", algo)
+            .add("graph", graph_text);
+        if (cli.has("topology")) {
+          o.add("topology", cli.get("topology", ""));
+        } else if (cli.has("procs")) {
+          o.add_int("procs", cli.get_int("procs", 0));
+        }
+        if (want_schedule) o.add("schedule", true);
+        if (cli.has("no-cache")) o.add("cache", false);
+
+        const std::string reply = round_trip(conn, o.str());
+        if (!cli.has("quiet")) std::printf("%s\n", reply.c_str());
+
+        const JsonValue doc = json_parse(reply);
+        if (doc.get_string("status", "") != "ok") {
+          all_ok = false;
+          continue;
+        }
+        const std::string out = cli.get("out", "");
+        if (!out.empty()) {
+          std::ofstream f(out, std::ios::binary | std::ios::trunc);
+          f << doc.get_string("schedule", "");
+          if (!f) throw std::runtime_error("cannot write " + out);
+        }
+      }
+    }
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tgs_client: %s\n", e.what());
+    return 1;
+  }
+}

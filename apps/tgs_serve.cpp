@@ -1,0 +1,71 @@
+// tgs_serve: the scheduling-as-a-service daemon.
+//
+//   ./tgs_serve --socket=/tmp/tgs.sock --workers=4
+//       [--queue-cap=256] [--cache-cap=1024]
+//
+// Serves the line-delimited JSON protocol of docs/serve.md on a unix
+// socket until SIGINT/SIGTERM or a client "shutdown" op. Exit code 0 on a
+// clean stop.
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "tgs/serve/server.h"
+#include "tgs/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace tgs;
+  const Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf(
+        "usage: tgs_serve [--socket=PATH] [--workers=N] [--queue-cap=N]\n"
+        "                 [--cache-cap=N] [--quiet]\n");
+    return 0;
+  }
+
+  ServeOptions opt;
+  try {
+    opt.socket_path = cli.get("socket", opt.socket_path);
+    opt.workers = static_cast<int>(cli.get_int("workers", 0));
+    opt.queue_capacity = static_cast<std::size_t>(
+        cli.get_int("queue-cap", static_cast<std::int64_t>(opt.queue_capacity)));
+    opt.cache_capacity = static_cast<std::size_t>(
+        cli.get_int("cache-cap", static_cast<std::int64_t>(opt.cache_capacity)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tgs_serve: %s\n", e.what());
+    return 1;
+  }
+
+  // Block the termination signals before any thread exists, so every
+  // thread inherits the mask and only the waiter below receives them.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  try {
+    Server server(opt);
+    if (!cli.has("quiet"))
+      std::fprintf(stderr, "tgs_serve: listening on %s (%d workers)\n",
+                   server.socket_path().c_str(), server.num_workers());
+
+    std::thread signal_waiter([&sigs, &server] {
+      int sig = 0;
+      sigwait(&sigs, &sig);
+      server.request_stop();
+    });
+
+    server.serve_forever();
+
+    // If the stop came from a client "shutdown" op, the waiter is still
+    // blocked in sigwait: deliver it a signal so it can exit and be joined.
+    pthread_kill(signal_waiter.native_handle(), SIGTERM);
+    signal_waiter.join();
+    if (!cli.has("quiet")) std::fprintf(stderr, "tgs_serve: stopped\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tgs_serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

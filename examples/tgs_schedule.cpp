@@ -7,6 +7,8 @@
 //   ./examples/tgs_schedule c.tgs --algo=BSA --topology=hcube3 --out=c.sched
 //   Topologies: ring<p> mesh<r>x<c> hcube<d> clique<p> star<p>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 #include "tgs/graph/graph_io.h"
@@ -17,29 +19,6 @@
 #include "tgs/sched/schedule_io.h"
 #include "tgs/sched/validate.h"
 #include "tgs/util/cli.h"
-
-namespace {
-
-tgs::Topology parse_topology(const std::string& spec) {
-  using tgs::Topology;
-  auto num_after = [&spec](std::size_t prefix) {
-    return std::stoi(spec.substr(prefix));
-  };
-  if (spec.rfind("ring", 0) == 0) return Topology::ring(num_after(4));
-  if (spec.rfind("hcube", 0) == 0) return Topology::hypercube(num_after(5));
-  if (spec.rfind("clique", 0) == 0) return Topology::fully_connected(num_after(6));
-  if (spec.rfind("star", 0) == 0) return Topology::star(num_after(4));
-  if (spec.rfind("mesh", 0) == 0) {
-    const auto x = spec.find('x');
-    if (x != std::string::npos)
-      return Topology::mesh(std::stoi(spec.substr(4, x - 4)),
-                            std::stoi(spec.substr(x + 1)));
-  }
-  std::fprintf(stderr, "unknown topology '%s'\n", spec.c_str());
-  std::exit(1);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tgs;
@@ -55,7 +34,14 @@ int main(int argc, char** argv) {
   const bool is_apn = cli.has("topology");
   Schedule result(g);
   if (is_apn) {
-    const RoutingTable routes{parse_topology(cli.get("topology", "hcube3"))};
+    const RoutingTable routes{[&cli]() {
+      try {
+        return Topology::from_spec(cli.get("topology", "hcube3"));
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(1);
+      }
+    }()};
     const auto algo = make_apn_scheduler(algo_name);
     NetSchedule ns = algo->run(g, routes);
     const auto v = validate_net_schedule(ns);

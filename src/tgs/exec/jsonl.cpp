@@ -86,6 +86,13 @@ JsonObject& JsonObject::add_uint(const std::string& k, std::uint64_t v) {
   return *this;
 }
 
+JsonObject& JsonObject::add_raw(const std::string& k,
+                                const std::string& raw_json) {
+  key(k);
+  buf_ += raw_json;
+  return *this;
+}
+
 JsonlWriter::JsonlWriter(const std::string& path, bool append)
     : file_(path, append ? std::ios::app : std::ios::trunc) {
   if (file_.is_open()) os_ = &file_;

@@ -31,6 +31,11 @@ class JsonObject {
   JsonObject& add_int(const std::string& key, std::int64_t value);
   JsonObject& add_uint(const std::string& key, std::uint64_t value);
 
+  /// Splice pre-rendered JSON (e.g. a nested object built by another
+  /// JsonObject) in as the value -- the one escape hatch from flatness.
+  /// `raw_json` must itself be a complete JSON value.
+  JsonObject& add_raw(const std::string& key, const std::string& raw_json);
+
   /// The completed "{...}" text. The builder may keep growing afterwards.
   std::string str() const { return buf_ + "}"; }
 

@@ -1,0 +1,36 @@
+// Content-addressed task-graph fingerprints.
+//
+// A fingerprint is a 128-bit hash over a canonical encoding of the graph's
+// *scheduling-relevant* content: node count, node weights in id order, and
+// every edge (u, v, cost) in the builder's sorted adjacency order. The
+// graph name and node labels are deliberately excluded -- two files that
+// describe the same weighted DAG with different names, labels, or line
+// orderings fingerprint equal, while any perturbation of a weight, an edge
+// cost, or the edge set fingerprints different.
+//
+// This is the cache key of the tgs_serve schedule cache: node ids ARE part
+// of the identity (every algorithm tie-breaks on ids, so a graph with
+// permuted ids may legitimately schedule differently).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tgs/graph/task_graph.h"
+
+namespace tgs {
+
+struct GraphFingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex digits, hi then lo.
+  std::string hex() const;
+
+  friend bool operator==(const GraphFingerprint&,
+                         const GraphFingerprint&) = default;
+};
+
+GraphFingerprint graph_fingerprint(const TaskGraph& g);
+
+}  // namespace tgs

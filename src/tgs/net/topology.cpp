@@ -95,6 +95,75 @@ Topology Topology::random_connected(int p, double extra_prob,
   return Topology("rand" + std::to_string(p), p, std::move(links));
 }
 
+Topology Topology::from_spec(const std::string& spec) {
+  const auto fail = [&spec]() -> Topology {
+    throw std::invalid_argument("bad topology spec: '" + spec + "'");
+  };
+  // Strict positive-integer parse of spec[pos..end); -1 on garbage.
+  const auto num = [&spec](std::size_t pos, std::size_t end) -> long {
+    if (pos >= end || end > spec.size()) return -1;
+    long v = 0;
+    for (std::size_t i = pos; i < end; ++i) {
+      if (spec[i] < '0' || spec[i] > '9') return -1;
+      v = v * 10 + (spec[i] - '0');
+      if (v > 1'000'000) return -1;
+    }
+    return v;
+  };
+  const auto tail = [&](std::size_t prefix) { return num(prefix, spec.size()); };
+
+  try {
+    if (spec.rfind("ring", 0) == 0) {
+      const long p = tail(4);
+      if (p < 1) fail();
+      return ring(static_cast<int>(p));
+    }
+    if (spec.rfind("hcube", 0) == 0) {
+      const long d = tail(5);
+      if (d < 0) fail();
+      return hypercube(static_cast<int>(d));
+    }
+    if (spec.rfind("clique", 0) == 0) {
+      const long p = tail(6);
+      if (p < 1) fail();
+      return fully_connected(static_cast<int>(p));
+    }
+    if (spec.rfind("star", 0) == 0) {
+      const long p = tail(4);
+      if (p < 1) fail();
+      return star(static_cast<int>(p));
+    }
+    if (spec.rfind("mesh", 0) == 0) {
+      const std::size_t x = spec.find('x', 4);
+      if (x == std::string::npos) fail();
+      const long r = num(4, x), c = num(x + 1, spec.size());
+      if (r < 1 || c < 1) fail();
+      return mesh(static_cast<int>(r), static_cast<int>(c));
+    }
+    if (spec.rfind("rand", 0) == 0) {
+      const std::size_t at = spec.find('@', 4);
+      const std::size_t hash = spec.find('#', 4);
+      if (at == std::string::npos || hash == std::string::npos || hash < at)
+        fail();
+      const long p = num(4, at);
+      if (p < 1) fail();
+      std::size_t used = 0;
+      const std::string prob_text = spec.substr(at + 1, hash - at - 1);
+      const double prob = std::stod(prob_text, &used);
+      if (used != prob_text.size() || prob < 0.0 || prob > 1.0) fail();
+      const long seed = num(hash + 1, spec.size());
+      if (seed < 0) fail();
+      return random_connected(static_cast<int>(p), prob,
+                              static_cast<std::uint64_t>(seed));
+    }
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception&) {  // std::stod range errors and friends
+    fail();
+  }
+  return fail();
+}
+
 int Topology::link_between(int a, int b) const {
   for (const Neighbor& nb : neighbors(a))
     if (nb.proc == b) return nb.link;

@@ -60,6 +60,13 @@ class Topology {
   /// pivot.
   int max_degree_proc() const;
 
+  /// Parse a compact spec: "ring<p>", "mesh<r>x<c>", "hcube<d>",
+  /// "clique<p>", "star<p>", "rand<p>@<extra_prob>#<seed>". Deterministic:
+  /// equal specs build identical topologies (the serve layer uses the spec
+  /// string as the machine half of its cache keys). Throws
+  /// std::invalid_argument on anything else.
+  static Topology from_spec(const std::string& spec);
+
  private:
   Topology(std::string name, int p, std::vector<std::pair<int, int>> links);
 

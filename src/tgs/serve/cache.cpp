@@ -1,0 +1,44 @@
+#include "tgs/serve/cache.h"
+
+namespace tgs {
+
+bool ScheduleCache::lookup(const std::string& key, CachedSchedule* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++hits_;
+  *out = it->second->value;
+  return true;
+}
+
+void ScheduleCache::insert(const std::string& key,
+                           const CachedSchedule& value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent compute of the same key: both workers insert, last write
+    // wins. Results are deterministic, so the values are identical anyway.
+    it->second->value = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, value});
+  index_[key] = lru_.begin();
+}
+
+ScheduleCache::Counters ScheduleCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {hits_, misses_, evictions_, lru_.size(), capacity_};
+}
+
+}  // namespace tgs

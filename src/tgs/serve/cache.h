@@ -1,0 +1,76 @@
+// Content-addressed schedule cache for the serving daemon.
+//
+// Keys are canonical strings assembled by the protocol layer:
+//   <graph fingerprint hex> "|" <algo class> "|" <algorithm> "|" <machine>
+// where the fingerprint covers exactly the scheduling-relevant graph
+// content (graph/fingerprint.h) and <machine> is "procs=N" or the literal
+// topology spec. Two requests with equal keys are guaranteed equal inputs
+// to Scheduler::run (modulo a 2^-128 hash collision), so the cached result
+// -- schedule length, metrics, and the full tgssched1 text -- can be
+// replayed without scheduling.
+//
+// Bounded LRU: lookup() refreshes recency, insert() evicts the least
+// recently used entry when full. Thread-safe; counters (hits, misses,
+// evictions) feed the stats surface.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "tgs/util/types.h"
+
+namespace tgs {
+
+/// The replayable part of a schedule response.
+struct CachedSchedule {
+  Time makespan = 0;
+  double nsl = 0;
+  int procs_used = 0;
+  std::size_t num_messages = 0;   // APN only; 0 otherwise
+  std::string schedule_text;      // tgssched1 serialization
+};
+
+class ScheduleCache {
+ public:
+  /// `capacity` <= 0 disables caching (every lookup misses, inserts are
+  /// dropped).
+  explicit ScheduleCache(std::size_t capacity) : capacity_(capacity) {}
+
+  ScheduleCache(const ScheduleCache&) = delete;
+  ScheduleCache& operator=(const ScheduleCache&) = delete;
+
+  /// Copies the entry into `out` and refreshes its recency. Counts a hit
+  /// or a miss.
+  bool lookup(const std::string& key, CachedSchedule* out);
+
+  /// Inserts or overwrites; evicts the LRU entry when at capacity.
+  void insert(const std::string& key, const CachedSchedule& value);
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+  };
+  Counters counters() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedSchedule value;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace tgs

@@ -1,0 +1,63 @@
+// Minimal recursive-descent JSON parser for the serve protocol.
+//
+// The repo writes JSON through exec/jsonl.h; the daemon additionally has to
+// *read* it. This parser covers the full JSON grammar (objects, arrays,
+// strings with escapes, numbers, booleans, null) with two deliberate
+// simplifications: numbers are stored as double (protocol fields are small
+// integers and ratios), and \uXXXX escapes outside the BMP are encoded as
+// their surrogate code points individually.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tgs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const std::vector<JsonValue>& as_array() const { return arr_; }
+  const std::map<std::string, JsonValue>& as_object() const { return obj_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Typed member accessors with fallback; throw std::invalid_argument
+  /// ("field 'x' must be a string/number/bool") when the member exists but
+  /// has the wrong type -- protocol errors should name the offending field.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_number(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws std::invalid_argument with an offset-bearing
+/// message on malformed input.
+JsonValue json_parse(const std::string& text);
+
+}  // namespace tgs

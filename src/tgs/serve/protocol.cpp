@@ -1,0 +1,122 @@
+#include "tgs/serve/protocol.h"
+
+#include "tgs/exec/jsonl.h"
+
+namespace tgs {
+
+const char* serve_error_code(ServeError e) {
+  switch (e) {
+    case ServeError::kBadJson: return "bad_json";
+    case ServeError::kBadRequest: return "bad_request";
+    case ServeError::kBadGraph: return "bad_graph";
+    case ServeError::kUnknownAlgo: return "unknown_algo";
+    case ServeError::kBadTopology: return "bad_topology";
+    case ServeError::kOverloaded: return "overloaded";
+    case ServeError::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+ServeRequest parse_request(const std::string& line) {
+  JsonValue doc;
+  try {
+    doc = json_parse(line);
+  } catch (const std::invalid_argument& e) {
+    throw ProtocolError(ServeError::kBadJson, e.what());
+  }
+  if (!doc.is_object())
+    throw ProtocolError(ServeError::kBadJson, "request must be a JSON object");
+
+  ServeRequest req;
+  try {
+    req.op = doc.get_string("op", "schedule");
+    req.id = doc.get_string("id", "");
+    req.graph_text = doc.get_string("graph", "");
+    req.algo = doc.get_string("algo", "");
+    req.topology = doc.get_string("topology", "");
+    const double procs = doc.get_number("procs", 0);
+    if (procs != static_cast<double>(static_cast<int>(procs)) || procs < 0 ||
+        procs > 1e6)
+      throw std::invalid_argument("field 'procs' must be an integer >= 0");
+    req.procs = static_cast<int>(procs);
+    req.want_schedule = doc.get_bool("schedule", false);
+    req.use_cache = doc.get_bool("cache", true);
+  } catch (const std::invalid_argument& e) {
+    throw ProtocolError(ServeError::kBadRequest, e.what());
+  }
+
+  if (req.op != "schedule" && req.op != "stats" && req.op != "ping" &&
+      req.op != "shutdown")
+    throw ProtocolError(ServeError::kBadRequest,
+                        "unknown op '" + req.op + "'");
+  if (req.op == "schedule") {
+    if (req.graph_text.empty())
+      throw ProtocolError(ServeError::kBadRequest,
+                          "op=schedule requires a 'graph' field");
+    if (req.algo.empty())
+      throw ProtocolError(ServeError::kBadRequest,
+                          "op=schedule requires an 'algo' field");
+    if (!req.topology.empty() && doc.find("procs") != nullptr)
+      throw ProtocolError(ServeError::kBadRequest,
+                          "'procs' and 'topology' are mutually exclusive");
+  }
+  return req;
+}
+
+std::string make_cache_key(const std::string& fingerprint_hex,
+                           const std::string& algo_class,
+                           const std::string& algo,
+                           const std::string& topology, int procs) {
+  std::string machine =
+      topology.empty() ? "procs=" + std::to_string(procs) : topology;
+  return fingerprint_hex + "|" + algo_class + "|" + algo + "|" + machine;
+}
+
+namespace {
+
+JsonObject base_response(const std::string& id, const char* status) {
+  JsonObject o;
+  if (!id.empty()) o.add("id", id);
+  o.add("status", status);
+  return o;
+}
+
+}  // namespace
+
+std::string render_error(const std::string& id, ServeError code,
+                         const std::string& message) {
+  return base_response(id, "error")
+      .add("code", serve_error_code(code))
+      .add("message", message)
+      .str();
+}
+
+std::string render_schedule_response(const std::string& id,
+                                     const std::string& algo,
+                                     const std::string& algo_class,
+                                     const CachedSchedule& result, bool cached,
+                                     std::uint64_t micros, bool with_schedule,
+                                     bool is_apn) {
+  JsonObject o = base_response(id, "ok");
+  o.add("op", "schedule")
+      .add("algo", algo)
+      .add("class", algo_class)
+      .add_int("makespan", result.makespan)
+      .add("nsl", result.nsl)
+      .add_int("procs_used", result.procs_used)
+      .add("cached", cached)
+      .add_uint("micros", micros);
+  if (is_apn) o.add_uint("messages", result.num_messages);
+  if (with_schedule) o.add("schedule", result.schedule_text);
+  return o.str();
+}
+
+std::string render_pong(const std::string& id) {
+  return base_response(id, "ok").add("op", "ping").str();
+}
+
+std::string render_shutdown_ack(const std::string& id) {
+  return base_response(id, "ok").add("op", "shutdown").str();
+}
+
+}  // namespace tgs

@@ -1,0 +1,94 @@
+// The tgs_serve wire protocol: one JSON object per line, in each direction.
+//
+// Request fields (all optional unless noted):
+//   op        "schedule" (default) | "stats" | "ping" | "shutdown"
+//   id        string echoed verbatim in the response (client correlation)
+//   graph     REQUIRED for op=schedule: a tgs1 graph (graph_io format)
+//   algo      REQUIRED for op=schedule: registry name ("MCP", "DLS", ...)
+//   topology  machine spec ("ring4", "mesh2x3", "hcube3", ...): selects the
+//             APN algorithm registry. Absent = fully-connected machine
+//             (BNP/UNC registry) with `procs` processors.
+//   procs     processor count for the fully-connected machine; 0 (default)
+//             = virtually unlimited (the paper's BNP/UNC setting)
+//   schedule  bool: include the full tgssched1 schedule text in the reply
+//   cache     bool (default true): permit serving/populating the cache
+//
+// Response: {"id", "status":"ok"|"error", ...}. See docs/serve.md for the
+// full schema and the error-code table.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "tgs/serve/cache.h"
+#include "tgs/serve/json.h"
+
+namespace tgs {
+
+/// Machine-readable error codes (the `code` field of error responses).
+enum class ServeError {
+  kBadJson,      // request line is not valid JSON / not an object
+  kBadRequest,   // JSON is fine but fields are missing or ill-typed
+  kBadGraph,     // graph text failed tgs1 parsing/validation
+  kUnknownAlgo,  // algorithm name not in the registry for this machine
+  kBadTopology,  // topology spec failed to parse
+  kOverloaded,   // admission control rejected: queue at capacity
+  kInternal,     // scheduling itself threw (a bug: inputs were validated)
+};
+
+const char* serve_error_code(ServeError e);
+
+/// Thrown by parse_schedule_request; carries the protocol error code.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(ServeError code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  ServeError code() const { return code_; }
+
+ private:
+  ServeError code_;
+};
+
+struct ServeRequest {
+  std::string op;        // normalized, one of the four ops
+  std::string id;        // may be empty
+  std::string graph_text;
+  std::string algo;
+  std::string topology;  // empty = fully-connected machine
+  int procs = 0;
+  bool want_schedule = false;
+  bool use_cache = true;
+};
+
+/// Parse one request line. Throws ProtocolError(kBadJson) for non-JSON,
+/// ProtocolError(kBadRequest) for structural problems. Field *content*
+/// (graph text, algo name, topology spec) is validated later, where the
+/// specific error codes originate.
+ServeRequest parse_request(const std::string& line);
+
+/// Canonical cache key for a schedule request whose graph hashed to
+/// `fingerprint_hex`. `algo_class` and `algo` must be the *resolved*
+/// registry spellings (so "DLS-APN" and "DLS" on a topology key equal).
+std::string make_cache_key(const std::string& fingerprint_hex,
+                           const std::string& algo_class,
+                           const std::string& algo,
+                           const std::string& topology, int procs);
+
+// ----------------------------------------------------------- responses --
+
+std::string render_error(const std::string& id, ServeError code,
+                         const std::string& message);
+
+/// `cached` distinguishes replayed from computed results; `micros` is the
+/// compute time (0 when cached).
+std::string render_schedule_response(const std::string& id,
+                                     const std::string& algo,
+                                     const std::string& algo_class,
+                                     const CachedSchedule& result, bool cached,
+                                     std::uint64_t micros, bool with_schedule,
+                                     bool is_apn);
+
+std::string render_pong(const std::string& id);
+std::string render_shutdown_ack(const std::string& id);
+
+}  // namespace tgs

@@ -1,0 +1,350 @@
+#include "tgs/serve/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "tgs/exec/jsonl.h"
+#include "tgs/graph/fingerprint.h"
+#include "tgs/graph/graph_io.h"
+#include "tgs/harness/registry.h"
+#include "tgs/net/routing.h"
+#include "tgs/net/topology.h"
+#include "tgs/sched/metrics.h"
+#include "tgs/sched/schedule_io.h"
+#include "tgs/sched/workspace.h"
+
+namespace tgs {
+
+namespace {
+
+int resolve_workers(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 2 : static_cast<int>(hw);
+}
+
+/// One thread-local workspace per scheduler worker (and per reader thread
+/// that happens to compute -- there are none today). begin_graph() is
+/// called per request: every request carries a fresh graph object.
+SchedWorkspace& worker_workspace(const TaskGraph& g) {
+  static thread_local SchedWorkspace ws;
+  ws.begin_graph(g);
+  return ws;
+}
+
+std::uint64_t micros_since(
+    std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+/// Shared between the reader thread and the workers computing for it; the
+/// write mutex serializes response lines so they cannot interleave.
+struct Server::ConnCtx {
+  UnixConn conn;
+  std::mutex write_mu;
+  std::atomic<bool> done{false};
+  std::thread thread;
+};
+
+/// A schedule request after reader-side resolution: graph parsed and
+/// fingerprinted, algorithm resolved against the right registry, cache key
+/// built. Everything a worker needs, immutable from here on.
+struct Server::ResolvedRequest {
+  ServeRequest req;
+  std::shared_ptr<const TaskGraph> graph;
+  std::string resolved_algo;  // registry spelling ("DLS", not "DLS-APN")
+  std::string algo_class;     // "BNP" / "UNC" / "APN"
+  std::string cache_key;
+  bool is_apn = false;
+};
+
+Server::Server(ServeOptions opt)
+    : opt_(opt),
+      listener_(opt.socket_path),
+      pool_(resolve_workers(opt.workers)),
+      cache_(opt.cache_capacity) {}
+
+Server::~Server() {
+  request_stop();
+  // Safe double-drain when serve_forever() already ran: both are
+  // idempotent, and conns_ is empty after its cleanup.
+  pool_.stop(/*drain=*/true);
+  reap_finished_connections(/*join_all=*/true);
+}
+
+void Server::request_stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.close();  // wakes the blocked accept()
+}
+
+void Server::serve_forever() {
+  for (;;) {
+    UnixConn conn = listener_.accept();
+    if (!conn.valid()) break;  // listener closed: shutting down
+    auto ctx = std::make_shared<ConnCtx>();
+    ctx->conn = std::move(conn);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(ctx);
+    }
+    ctx->thread = std::thread([this, ctx] { handle_connection(ctx); });
+    reap_finished_connections(/*join_all=*/false);
+  }
+  // Drain: admitted jobs finish and write their responses, then every
+  // reader is forced off its socket and joined.
+  pool_.stop(/*drain=*/true);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& ctx : conns_) ctx->conn.shutdown_both();
+  }
+  reap_finished_connections(/*join_all=*/true);
+}
+
+void Server::reap_finished_connections(bool join_all) {
+  std::vector<std::shared_ptr<ConnCtx>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto keep = conns_.begin();
+    for (auto& ctx : conns_) {
+      if (join_all || ctx->done.load()) {
+        to_join.push_back(std::move(ctx));
+      } else {
+        *keep++ = std::move(ctx);
+      }
+    }
+    conns_.erase(keep, conns_.end());
+  }
+  for (const auto& ctx : to_join)
+    if (ctx->thread.joinable()) ctx->thread.join();
+}
+
+void Server::handle_connection(const std::shared_ptr<ConnCtx>& ctx) {
+  std::string line;
+  try {
+    while (ctx->conn.read_line(&line)) handle_line(ctx, line);
+  } catch (const std::exception&) {
+    // Oversized line, mid-line close, or I/O error: drop the connection.
+    // Anything already admitted still completes (the worker's write then
+    // fails harmlessly against the shut-down fd).
+  }
+  ctx->conn.shutdown_both();
+  ctx->done.store(true);
+}
+
+void Server::write_response(const std::shared_ptr<ConnCtx>& ctx,
+                            const std::string& line) {
+  std::lock_guard<std::mutex> lock(ctx->write_mu);
+  try {
+    ctx->conn.write_line(line);
+  } catch (const std::exception&) {
+    // Peer vanished before its answer; nothing to do.
+  }
+}
+
+void Server::handle_line(const std::shared_ptr<ConnCtx>& ctx,
+                         const std::string& line) {
+  if (line.empty()) return;  // tolerate blank keep-alive lines
+  stats_.count_request();
+  ServeRequest req;
+  try {
+    req = parse_request(line);
+  } catch (const ProtocolError& e) {
+    stats_.count_error();
+    write_response(ctx, render_error("", e.code(), e.what()));
+    return;
+  }
+
+  if (req.op == "ping") {
+    stats_.count_ok();
+    write_response(ctx, render_pong(req.id));
+    return;
+  }
+  if (req.op == "stats") {
+    stats_.count_ok();
+    write_response(ctx, render_stats(req.id));
+    return;
+  }
+  if (req.op == "shutdown") {
+    stats_.count_ok();
+    write_response(ctx, render_shutdown_ack(req.id));
+    request_stop();
+    return;
+  }
+  handle_schedule(ctx, req);
+}
+
+void Server::handle_schedule(const std::shared_ptr<ConnCtx>& ctx,
+                             const ServeRequest& req) {
+  const auto reply_error = [&](ServeError code, const std::string& msg) {
+    stats_.count_error();
+    write_response(ctx, render_error(req.id, code, msg));
+  };
+
+  auto rr = std::make_shared<ResolvedRequest>();
+  rr->req = req;
+  rr->is_apn = !req.topology.empty();
+
+  // Resolution order fixes error precedence: graph, then topology, then
+  // algorithm (documented in docs/serve.md).
+  try {
+    rr->graph =
+        std::make_shared<const TaskGraph>(graph_from_string(req.graph_text));
+  } catch (const std::exception& e) {
+    return reply_error(ServeError::kBadGraph, e.what());
+  }
+  if (rr->is_apn) {
+    try {
+      Topology::from_spec(req.topology);  // validated here, built by worker
+    } catch (const std::exception& e) {
+      return reply_error(ServeError::kBadTopology, e.what());
+    }
+    try {
+      const ApnSchedulerPtr algo = make_apn_scheduler(req.algo);
+      rr->resolved_algo = algo->name();
+      rr->algo_class = "APN";
+    } catch (const std::exception& e) {
+      return reply_error(ServeError::kUnknownAlgo, e.what());
+    }
+  } else {
+    try {
+      const SchedulerPtr algo = make_scheduler(req.algo);
+      rr->resolved_algo = algo->name();
+      rr->algo_class = algo_class_name(algo->algo_class());
+    } catch (const std::exception& e) {
+      return reply_error(ServeError::kUnknownAlgo, e.what());
+    }
+  }
+
+  rr->cache_key =
+      make_cache_key(graph_fingerprint(*rr->graph).hex(), rr->algo_class,
+                     rr->resolved_algo, req.topology, req.procs);
+
+  if (req.use_cache) {
+    CachedSchedule hit;
+    if (cache_.lookup(rr->cache_key, &hit)) {
+      stats_.record_cache_hit(rr->resolved_algo);
+      stats_.count_ok();
+      write_response(ctx, render_schedule_response(
+                              req.id, rr->resolved_algo, rr->algo_class, hit,
+                              /*cached=*/true, /*micros=*/0,
+                              req.want_schedule, rr->is_apn));
+      return;
+    }
+  }
+
+  // Admission control: a full queue answers immediately instead of
+  // buffering unboundedly. fetch_add-then-check keeps the bound exact
+  // without a lock on the hot path.
+  const char* reject_reason = nullptr;
+  if (stopping_.load()) {
+    reject_reason = "server shutting down";
+  } else if (inflight_.fetch_add(1) >= opt_.queue_capacity) {
+    inflight_.fetch_sub(1);
+    reject_reason = "queue at capacity";
+  }
+  if (reject_reason != nullptr) {
+    stats_.count_rejected();
+    JsonObject o;
+    if (!req.id.empty()) o.add("id", req.id);
+    o.add("status", "error")
+        .add("code", serve_error_code(ServeError::kOverloaded))
+        .add("message", reject_reason)
+        .add_uint("queue_depth", pool_.queue_depth())
+        .add_uint("queue_capacity", opt_.queue_capacity);
+    write_response(ctx, o.str());
+    return;
+  }
+
+  try {
+    pool_.submit([this, ctx, rr] {
+      const auto started = std::chrono::steady_clock::now();
+      CachedSchedule result;
+      try {
+        if (rr->is_apn) {
+          const RoutingTable routes(Topology::from_spec(rr->req.topology));
+          const ApnSchedulerPtr algo = make_apn_scheduler(rr->resolved_algo);
+          SchedWorkspace& ws = worker_workspace(*rr->graph);
+          NetSchedule ns = algo->run(*rr->graph, routes, ws);
+          result.makespan = ns.makespan();
+          result.nsl = normalized_schedule_length(*rr->graph, ns.makespan());
+          result.procs_used = ns.tasks().procs_used();
+          result.num_messages = ns.messages().size();
+          result.schedule_text = schedule_to_string(ns.tasks());
+        } else {
+          const SchedulerPtr algo = make_scheduler(rr->resolved_algo);
+          SchedOptions opt;
+          opt.num_procs = rr->req.procs;
+          SchedWorkspace& ws = worker_workspace(*rr->graph);
+          Schedule s = algo->run(*rr->graph, opt, ws);
+          result.makespan = s.makespan();
+          result.nsl = normalized_schedule_length(s);
+          result.procs_used = s.procs_used();
+          result.schedule_text = schedule_to_string(s);
+        }
+      } catch (const std::exception& e) {
+        inflight_.fetch_sub(1);
+        stats_.count_error();
+        write_response(ctx,
+                       render_error(rr->req.id, ServeError::kInternal,
+                                    e.what()));
+        return;
+      }
+      const std::uint64_t micros = micros_since(started);
+      if (rr->req.use_cache) cache_.insert(rr->cache_key, result);
+      stats_.record_latency(rr->resolved_algo, micros);
+      stats_.count_ok();
+      inflight_.fetch_sub(1);
+      write_response(ctx, render_schedule_response(
+                              rr->req.id, rr->resolved_algo, rr->algo_class,
+                              result, /*cached=*/false, micros,
+                              rr->req.want_schedule, rr->is_apn));
+    });
+  } catch (const std::exception&) {
+    // Pool already stopping (shutdown raced the admission check).
+    inflight_.fetch_sub(1);
+    stats_.count_rejected();
+    write_response(ctx, render_error(req.id, ServeError::kOverloaded,
+                                     "server shutting down"));
+  }
+}
+
+std::string Server::render_stats(const std::string& id) const {
+  const ServerStats::Snapshot s = stats_.snapshot();
+  const ScheduleCache::Counters c = cache_.counters();
+  JsonObject o;
+  if (!id.empty()) o.add("id", id);
+  o.add("status", "ok")
+      .add("op", "stats")
+      .add_int("workers", pool_.size())
+      .add_uint("queue_depth", pool_.queue_depth())
+      .add_uint("queue_capacity", opt_.queue_capacity)
+      .add_uint("requests_total", s.requests_total)
+      .add_uint("requests_ok", s.requests_ok)
+      .add_uint("requests_error", s.requests_error)
+      .add_uint("requests_rejected", s.requests_rejected)
+      .add_uint("cache_hits", c.hits)
+      .add_uint("cache_misses", c.misses)
+      .add_uint("cache_evictions", c.evictions)
+      .add_uint("cache_size", c.size)
+      .add_uint("cache_capacity", c.capacity);
+  JsonObject algos;
+  for (const ServerStats::AlgoSnapshot& a : s.algos) {
+    JsonObject entry;
+    entry.add_uint("computed", a.computed)
+        .add_uint("cache_hits", a.cache_hits)
+        .add_uint("total_us", a.total_micros)
+        .add_uint("p50_us", a.p50_micros)
+        .add_uint("p90_us", a.p90_micros)
+        .add_uint("max_us", a.max_micros);
+    algos.add_raw(a.algo, entry.str());
+  }
+  o.add_raw("algos", algos.str());
+  return o.str();
+}
+
+}  // namespace tgs

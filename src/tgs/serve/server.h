@@ -1,0 +1,101 @@
+// The scheduling-as-a-service daemon core.
+//
+// Architecture (one Server instance = one daemon):
+//
+//   accept thread (serve_forever)
+//     -> one reader thread per connection: parses request lines, answers
+//        stats/ping/shutdown inline, resolves + fingerprints schedule
+//        requests and serves cache hits without ever touching the queue
+//     -> bounded admission into a ThreadPool of scheduler workers; a full
+//        queue rejects deterministically with an "overloaded" status
+//        carrying the current depth (honest backpressure, never blocking
+//        the reader)
+//     -> each worker binds a thread-local SchedWorkspace (the PR-4 model:
+//        zero steady-state allocation, graph attributes computed once per
+//        request) and writes its response line directly to the requesting
+//        connection under that connection's write mutex -- responses on a
+//        pipelined connection may interleave out of request order, which
+//        is what the echoed `id` field is for.
+//
+// Results are byte-identical to direct Scheduler::run / ApnScheduler::run
+// calls on the same inputs: the server adds routing, not policy.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tgs/exec/thread_pool.h"
+#include "tgs/serve/cache.h"
+#include "tgs/serve/protocol.h"
+#include "tgs/serve/socket.h"
+#include "tgs/serve/stats.h"
+
+namespace tgs {
+
+struct ServeOptions {
+  std::string socket_path = "/tmp/tgs_serve.sock";
+  /// Scheduler worker threads; < 1 = hardware concurrency.
+  int workers = 0;
+  /// Max schedule jobs admitted but unfinished before rejection.
+  std::size_t queue_capacity = 256;
+  /// Schedule-cache entries (0 disables caching).
+  std::size_t cache_capacity = 1024;
+};
+
+class Server {
+ public:
+  /// Binds the listening socket; throws std::runtime_error on failure.
+  explicit Server(ServeOptions opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accept loop. Returns after request_stop() (from any thread, a signal
+  /// waiter, or a client "shutdown" op) once in-flight work has drained
+  /// and every connection thread has been joined.
+  void serve_forever();
+
+  /// Begin shutdown: stop admitting, wake the accept loop. Thread-safe and
+  /// idempotent; returns immediately (serve_forever does the draining).
+  void request_stop();
+
+  const std::string& socket_path() const { return listener_.path(); }
+  int num_workers() const { return pool_.size(); }
+
+  /// Introspection for tests and the stats op.
+  ServerStats& stats() { return stats_; }
+  ScheduleCache& cache() { return cache_; }
+
+ private:
+  struct ConnCtx;
+  struct ResolvedRequest;
+
+  void handle_connection(const std::shared_ptr<ConnCtx>& ctx);
+  void handle_line(const std::shared_ptr<ConnCtx>& ctx,
+                   const std::string& line);
+  void handle_schedule(const std::shared_ptr<ConnCtx>& ctx,
+                       const ServeRequest& req);
+  std::string render_stats(const std::string& id) const;
+  void reap_finished_connections(bool join_all);
+
+  static void write_response(const std::shared_ptr<ConnCtx>& ctx,
+                             const std::string& line);
+
+  ServeOptions opt_;
+  UnixListener listener_;
+  ThreadPool pool_;
+  ScheduleCache cache_;
+  ServerStats stats_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> inflight_{0};
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<ConnCtx>> conns_;
+};
+
+}  // namespace tgs

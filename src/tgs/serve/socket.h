@@ -1,0 +1,86 @@
+// Thin RAII wrappers over AF_UNIX stream sockets -- the transport of the
+// serve protocol. Line-oriented: the protocol is one JSON document per
+// '\n'-terminated line in each direction.
+//
+// Local-socket rationale: the daemon serves co-located clients (benchmark
+// drivers, sweep front-ends); a filesystem socket needs no port
+// allocation, inherits directory permissions, and keeps the protocol layer
+// free of address parsing. The framing code is transport-agnostic, so a
+// TCP listener can slot in later without touching the protocol.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tgs {
+
+/// A connected stream socket with buffered line reads. Movable, not
+/// copyable; closes on destruction.
+class UnixConn {
+ public:
+  UnixConn() = default;
+  explicit UnixConn(int fd) : fd_(fd) {}
+  ~UnixConn() { close(); }
+
+  UnixConn(UnixConn&& other) noexcept;
+  UnixConn& operator=(UnixConn&& other) noexcept;
+  UnixConn(const UnixConn&) = delete;
+  UnixConn& operator=(const UnixConn&) = delete;
+
+  /// Client-side connect; throws std::runtime_error on failure.
+  static UnixConn connect(const std::string& path);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Read up to the next '\n' (consumed, not returned). Returns false on
+  /// clean EOF with no buffered partial line; throws std::runtime_error on
+  /// I/O errors or when a line exceeds `max_line` bytes.
+  bool read_line(std::string* line, std::size_t max_line = kMaxLine);
+
+  /// Write `line` plus '\n', looping over partial writes. Throws
+  /// std::runtime_error when the peer is gone.
+  void write_line(const std::string& line);
+
+  /// Shut down both directions (wakes a blocked read_line in another
+  /// thread) without releasing the fd.
+  void shutdown_both();
+
+  void close();
+
+  /// 64 MiB: far above any sane request (a v=100k graph serializes to a
+  /// few MiB) but bounds memory against a runaway peer.
+  static constexpr std::size_t kMaxLine = 64u << 20;
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the last returned line
+};
+
+/// A listening socket bound to a filesystem path. Unlinks a stale socket
+/// file on bind and removes its own on destruction.
+class UnixListener {
+ public:
+  /// Binds and listens; throws std::runtime_error (with errno text) on
+  /// failure.
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Blocking accept. Returns an invalid conn when the listener has been
+  /// closed (the shutdown path) instead of throwing.
+  UnixConn accept();
+
+  /// Close the listening fd; wakes a blocked accept(). Idempotent.
+  void close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace tgs

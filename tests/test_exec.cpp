@@ -74,6 +74,62 @@ TEST(ThreadPool, CountsThrowingTasks) {
   EXPECT_EQ(pool.tasks_failed(), 1u);
 }
 
+TEST(ThreadPool, StopWithoutDrainDiscardsUnstartedTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  std::atomic<bool> started{false};
+  std::atomic<bool> queued_all{false};
+  // First task holds the single worker until (a) the 50 tasks behind it are
+  // all queued and (b) the queue has been emptied -- which, with the worker
+  // parked here, only stop(drain=false)'s discard can do. That makes the
+  // discard deterministic: no queued task can ever start.
+  pool.submit([&pool, &started, &queued_all] {
+    started.store(true);
+    while (!queued_all.load() || pool.pending() != 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  // Wait until the blocker is *running* (off the queue), so exactly the 50
+  // tasks below are in the queue when stop discards it.
+  while (!started.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  queued_all.store(true);
+  pool.stop(/*drain=*/false);
+  EXPECT_EQ(done.load(), 0);
+  EXPECT_EQ(pool.tasks_discarded(), 50u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  pool.stop(false);  // idempotent
+}
+
+TEST(ThreadPool, StopWithDrainMatchesShutdown) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  pool.stop(/*drain=*/true);
+  EXPECT_EQ(done.load(), 100);
+  EXPECT_EQ(pool.tasks_discarded(), 0u);
+}
+
+TEST(ThreadPool, QueueDepthCountsQueuedAndRunning) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  std::atomic<bool> release{false};
+  pool.submit([&release] {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  pool.submit([] {});
+  // Wait for the steady state: blocker running + one task queued. pending()
+  // alone under-reports backpressure (it misses the running task).
+  while (pool.pending() != 1) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(pool.queue_depth(), 2u);
+  EXPECT_EQ(pool.pending(), 1u);
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
 TEST(Sweep, ExpansionCountsAndOrder) {
   Sweep sweep;
   sweep.axis("a", {1, 2}).axis("b", {10, 20, 30}).replications(4);

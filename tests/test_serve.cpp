@@ -1,0 +1,614 @@
+// Tests for the scheduling-as-a-service subsystem: graph fingerprints,
+// the JSON parser, the schedule cache, the wire protocol, and an
+// in-process daemon exercised end-to-end over real unix sockets --
+// including the acceptance check that served results are byte-identical
+// to direct Scheduler::run / ApnScheduler::run calls.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tgs/exec/jsonl.h"
+#include "tgs/gen/psg.h"
+#include "tgs/gen/rgnos.h"
+#include "tgs/graph/fingerprint.h"
+#include "tgs/graph/graph_io.h"
+#include "tgs/harness/registry.h"
+#include "tgs/net/routing.h"
+#include "tgs/net/topology.h"
+#include "tgs/sched/schedule_io.h"
+#include "tgs/serve/cache.h"
+#include "tgs/serve/json.h"
+#include "tgs/serve/protocol.h"
+#include "tgs/serve/server.h"
+#include "tgs/serve/socket.h"
+#include "tgs/serve/stats.h"
+
+namespace tgs {
+namespace {
+
+TaskGraph small_graph() { return psg_canonical9(); }
+
+TaskGraph random_graph(std::uint64_t seed, NodeId nodes = 60) {
+  RgnosParams p;
+  p.num_nodes = nodes;
+  p.ccr = 1.0;
+  p.parallelism = 3;
+  p.seed = seed;
+  return rgnos_graph(p);
+}
+
+// ------------------------------------------------------------ fingerprint --
+
+TEST(Fingerprint, EqualGraphsHashEqual) {
+  const TaskGraph a = random_graph(7);
+  const TaskGraph b = random_graph(7);
+  EXPECT_EQ(graph_fingerprint(a), graph_fingerprint(b));
+  EXPECT_EQ(graph_fingerprint(a).hex(), graph_fingerprint(b).hex());
+  EXPECT_EQ(graph_fingerprint(a).hex().size(), 32u);
+}
+
+TEST(Fingerprint, FileLineOrderAndLabelsDoNotMatter) {
+  // The same weighted DAG written three ways: original; the legal line
+  // reorderings of a tgs1 file (edge lines permuted and interleaved --
+  // node ids are dense-in-order by the format, so node lines cannot
+  // move); and with the graph renamed + node labels rewritten. All three
+  // must fingerprint identically.
+  const std::string original =
+      "tgs1 g 4 3\n"
+      "node 0 5 a\nnode 1 6 b\nnode 2 7 c\nnode 3 8 d\n"
+      "edge 0 1 2\nedge 0 2 3\nedge 1 3 4\n";
+  const std::string reordered =
+      "tgs1 g 4 3\n"
+      "node 0 5 a\nnode 1 6 b\nnode 2 7 c\n"
+      "edge 0 2 3\nedge 0 1 2\nnode 3 8 d\nedge 1 3 4\n";
+  const std::string relabeled =
+      "tgs1 renamed 4 3\n"
+      "node 0 5 x1\nnode 1 6 x2\nnode 2 7 x3\nnode 3 8 x4\n"
+      "edge 0 1 2\nedge 0 2 3\nedge 1 3 4\n";
+  const GraphFingerprint fp = graph_fingerprint(graph_from_string(original));
+  EXPECT_EQ(fp, graph_fingerprint(graph_from_string(reordered)));
+  EXPECT_EQ(fp, graph_fingerprint(graph_from_string(relabeled)));
+}
+
+TEST(Fingerprint, AnyContentPerturbationChangesTheHash) {
+  const std::string base =
+      "tgs1 g 4 3\n"
+      "node 0 5\nnode 1 6\nnode 2 7\nnode 3 8\n"
+      "edge 0 1 2\nedge 0 2 3\nedge 1 3 4\n";
+  const GraphFingerprint fp = graph_fingerprint(graph_from_string(base));
+
+  const auto fp_of = [](const std::string& text) {
+    return graph_fingerprint(graph_from_string(text));
+  };
+  // Node weight changed.
+  EXPECT_NE(fp, fp_of("tgs1 g 4 3\n"
+                      "node 0 5\nnode 1 9\nnode 2 7\nnode 3 8\n"
+                      "edge 0 1 2\nedge 0 2 3\nedge 1 3 4\n"));
+  // Edge cost changed.
+  EXPECT_NE(fp, fp_of("tgs1 g 4 3\n"
+                      "node 0 5\nnode 1 6\nnode 2 7\nnode 3 8\n"
+                      "edge 0 1 9\nedge 0 2 3\nedge 1 3 4\n"));
+  // Edge moved to a different pair.
+  EXPECT_NE(fp, fp_of("tgs1 g 4 3\n"
+                      "node 0 5\nnode 1 6\nnode 2 7\nnode 3 8\n"
+                      "edge 0 1 2\nedge 0 3 3\nedge 1 3 4\n"));
+  // Edge removed.
+  EXPECT_NE(fp, fp_of("tgs1 g 4 2\n"
+                      "node 0 5\nnode 1 6\nnode 2 7\nnode 3 8\n"
+                      "edge 0 1 2\nedge 0 2 3\n"));
+  // Extra node.
+  EXPECT_NE(fp, fp_of("tgs1 g 5 3\n"
+                      "node 0 5\nnode 1 6\nnode 2 7\nnode 3 8\nnode 4 1\n"
+                      "edge 0 1 2\nedge 0 2 3\nedge 1 3 4\n"));
+}
+
+TEST(Fingerprint, RandomGraphsAreDistinct) {
+  // Not a collision proof, just a sanity sweep: 100 different generator
+  // seeds must give 100 different fingerprints.
+  std::vector<std::string> seen;
+  for (std::uint64_t s = 1; s <= 100; ++s)
+    seen.push_back(graph_fingerprint(random_graph(s, 30)).hex());
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+// ------------------------------------------------------------------- json --
+
+TEST(Json, ParsesScalarsAndNesting) {
+  const JsonValue v = json_parse(
+      R"({"s":"a\nb\u0041","n":-2.5e2,"i":7,"t":true,"f":false,"z":null,)"
+      R"("arr":[1,[2]],"obj":{"k":"v"}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.get_string("s", ""), "a\nbA");
+  EXPECT_EQ(v.get_number("n", 0), -250.0);
+  EXPECT_EQ(v.get_number("i", 0), 7.0);
+  EXPECT_TRUE(v.get_bool("t", false));
+  EXPECT_FALSE(v.get_bool("f", true));
+  EXPECT_TRUE(v.find("z")->is_null());
+  ASSERT_TRUE(v.find("arr")->is_array());
+  EXPECT_EQ(v.find("arr")->as_array()[0].as_number(), 1.0);
+  EXPECT_EQ(v.find("obj")->find("k")->as_string(), "v");
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(v.get_string("missing", "dflt"), "dflt");
+}
+
+TEST(Json, RoundTripsJsonObjectOutput) {
+  JsonObject o;
+  o.add("text", "line1\nline2\t\"quoted\"").add_int("n", -42).add("ok", true);
+  const JsonValue v = json_parse(o.str());
+  EXPECT_EQ(v.get_string("text", ""), "line1\nline2\t\"quoted\"");
+  EXPECT_EQ(v.get_number("n", 0), -42.0);
+  EXPECT_TRUE(v.get_bool("ok", false));
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "}", "{\"a\":}", "{\"a\":1,}", "[1,]", "{'a':1}",
+        "{\"a\":1}x", "nul", "{\"a\":01e}", "\"unterminated",
+        "{\"a\":\"\\q\"}", "{\"a\" 1}", "[1 2]", "--5"}) {
+    EXPECT_THROW(json_parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Json, WrongFieldTypeNamesTheField) {
+  const JsonValue v = json_parse(R"({"algo":3})");
+  try {
+    v.get_string("algo", "");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("algo"), std::string::npos);
+  }
+}
+
+// --------------------------------------------------------------- protocol --
+
+TEST(Protocol, ParsesScheduleRequestWithDefaults) {
+  const ServeRequest r = parse_request(
+      R"({"graph":"tgs1 g 1 0\nnode 0 3\n","algo":"MCP"})");
+  EXPECT_EQ(r.op, "schedule");
+  EXPECT_EQ(r.algo, "MCP");
+  EXPECT_EQ(r.procs, 0);
+  EXPECT_TRUE(r.topology.empty());
+  EXPECT_FALSE(r.want_schedule);
+  EXPECT_TRUE(r.use_cache);
+}
+
+TEST(Protocol, ErrorCodesMatchFailureClass) {
+  const auto code_of = [](const std::string& line) {
+    try {
+      parse_request(line);
+    } catch (const ProtocolError& e) {
+      return std::string(serve_error_code(e.code()));
+    }
+    return std::string("no_error");
+  };
+  EXPECT_EQ(code_of("garbage"), "bad_json");
+  EXPECT_EQ(code_of("[1,2]"), "bad_json");
+  EXPECT_EQ(code_of(R"({"op":"schedule","algo":"MCP"})"), "bad_request");
+  EXPECT_EQ(code_of(R"({"op":"schedule","graph":"g"})"), "bad_request");
+  EXPECT_EQ(code_of(R"({"op":"frobnicate"})"), "bad_request");
+  EXPECT_EQ(code_of(R"({"graph":"g","algo":"MCP","procs":1.5})"),
+            "bad_request");
+  EXPECT_EQ(code_of(R"({"graph":"g","algo":"MCP","procs":2,"topology":"ring4"})"),
+            "bad_request");
+  EXPECT_EQ(code_of(R"({"graph":"g","algo":3})"), "bad_request");
+}
+
+TEST(Protocol, CacheKeySeparatesEveryDimension) {
+  const std::string fp(32, 'a');
+  const std::string base = make_cache_key(fp, "BNP", "MCP", "", 0);
+  EXPECT_NE(base, make_cache_key(std::string(32, 'b'), "BNP", "MCP", "", 0));
+  EXPECT_NE(base, make_cache_key(fp, "BNP", "ETF", "", 0));
+  EXPECT_NE(base, make_cache_key(fp, "BNP", "MCP", "", 4));
+  EXPECT_NE(base, make_cache_key(fp, "APN", "MCP", "ring4", 0));
+  EXPECT_NE(make_cache_key(fp, "APN", "MH", "ring4", 0),
+            make_cache_key(fp, "APN", "MH", "ring8", 0));
+}
+
+// ------------------------------------------------------------------ cache --
+
+TEST(ScheduleCache, LruEvictionAndCounters) {
+  ScheduleCache cache(2);
+  CachedSchedule v;
+  v.makespan = 1;
+  cache.insert("a", v);
+  cache.insert("b", v);
+
+  CachedSchedule out;
+  EXPECT_TRUE(cache.lookup("a", &out));  // refreshes a: LRU order is now b,a
+  cache.insert("c", v);                  // evicts b
+  EXPECT_FALSE(cache.lookup("b", &out));
+  EXPECT_TRUE(cache.lookup("a", &out));
+  EXPECT_TRUE(cache.lookup("c", &out));
+
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits, 3u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.evictions, 1u);
+  EXPECT_EQ(c.size, 2u);
+  EXPECT_EQ(c.capacity, 2u);
+}
+
+TEST(ScheduleCache, ZeroCapacityDisables) {
+  ScheduleCache cache(0);
+  CachedSchedule v, out;
+  cache.insert("a", v);
+  EXPECT_FALSE(cache.lookup("a", &out));
+  EXPECT_EQ(cache.counters().size, 0u);
+}
+
+TEST(ScheduleCache, StoresValueContent) {
+  ScheduleCache cache(4);
+  CachedSchedule v;
+  v.makespan = 123;
+  v.nsl = 1.5;
+  v.procs_used = 7;
+  v.num_messages = 9;
+  v.schedule_text = "tgssched1 ...";
+  cache.insert("k", v);
+  CachedSchedule out;
+  ASSERT_TRUE(cache.lookup("k", &out));
+  EXPECT_EQ(out.makespan, 123);
+  EXPECT_EQ(out.nsl, 1.5);
+  EXPECT_EQ(out.procs_used, 7);
+  EXPECT_EQ(out.num_messages, 9u);
+  EXPECT_EQ(out.schedule_text, "tgssched1 ...");
+}
+
+// ------------------------------------------------------------------ stats --
+
+TEST(LatencyHist, QuantilesAreFactorOfTwoBounds) {
+  LatencyHist h;
+  for (int i = 0; i < 90; ++i) h.record(100);    // bucket [64, 128)
+  for (int i = 0; i < 10; ++i) h.record(10000);  // bucket [8192, 16384)
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.max_micros(), 10000u);
+  EXPECT_EQ(h.quantile_micros(0.5), 128u);
+  EXPECT_EQ(h.quantile_micros(0.9), 128u);
+  EXPECT_EQ(h.quantile_micros(1.0), 10000u);  // clamped to the true max
+}
+
+// --------------------------------------------------------- topology specs --
+
+TEST(TopologySpec, ParsesAllFamilies) {
+  EXPECT_EQ(Topology::from_spec("ring5").num_procs(), 5);
+  EXPECT_EQ(Topology::from_spec("mesh2x3").num_procs(), 6);
+  EXPECT_EQ(Topology::from_spec("hcube3").num_procs(), 8);
+  EXPECT_EQ(Topology::from_spec("clique4").num_links(), 6);
+  EXPECT_EQ(Topology::from_spec("star7").degree(0), 6);
+  EXPECT_EQ(Topology::from_spec("rand6@0.5#3").num_procs(), 6);
+  for (const char* bad : {"", "ring", "ringx", "mesh4", "mesh2x", "hcube99",
+                          "torus4", "ring-3", "rand6", "rand6@2#1"}) {
+    EXPECT_THROW(Topology::from_spec(bad), std::invalid_argument) << bad;
+  }
+}
+
+// ----------------------------------------------------------------- server --
+
+// An in-process daemon on a unique socket path, torn down on destruction.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServeOptions opt = {}) {
+    static std::atomic<int> counter{0};
+    opt.socket_path = "/tmp/tgs_serve_test_" + std::to_string(getpid()) +
+                      "_" + std::to_string(counter.fetch_add(1)) + ".sock";
+    server = std::make_unique<Server>(opt);
+    thread = std::thread([this] { server->serve_forever(); });
+  }
+
+  ~ServerFixture() {
+    server->request_stop();
+    if (thread.joinable()) thread.join();
+  }
+
+  UnixConn connect() const { return UnixConn::connect(server->socket_path()); }
+
+  /// Strict request/reply round trip on a dedicated connection.
+  JsonValue ask(const std::string& request) {
+    UnixConn conn = connect();
+    return ask_on(conn, request);
+  }
+
+  static JsonValue ask_on(UnixConn& conn, const std::string& request) {
+    conn.write_line(request);
+    std::string reply;
+    EXPECT_TRUE(conn.read_line(&reply));
+    return json_parse(reply);
+  }
+
+  std::unique_ptr<Server> server;
+  std::thread thread;
+};
+
+std::string schedule_request(const TaskGraph& g, const std::string& algo,
+                             const std::string& topology = "", int procs = -1,
+                             bool want_schedule = false, bool cache = true) {
+  JsonObject o;
+  o.add("id", "t1").add("graph", graph_to_string(g)).add("algo", algo);
+  if (!topology.empty()) o.add("topology", topology);
+  if (procs >= 0) o.add_int("procs", procs);
+  if (want_schedule) o.add("schedule", true);
+  if (!cache) o.add("cache", false);
+  return o.str();
+}
+
+TEST(Server, BnpResponseMatchesDirectRun) {
+  ServerFixture f;
+  const TaskGraph g = random_graph(11);
+  for (const char* algo : {"MCP", "ETF", "DLS", "HLFET", "DCP"}) {
+    const JsonValue r =
+        f.ask(schedule_request(g, algo, "", -1, /*want_schedule=*/true));
+    ASSERT_EQ(r.get_string("status", ""), "ok") << algo;
+    const Schedule direct = make_scheduler(algo)->run(g, SchedOptions{});
+    EXPECT_EQ(static_cast<Time>(r.get_number("makespan", -1)),
+              direct.makespan())
+        << algo;
+    EXPECT_EQ(r.get_string("schedule", ""), schedule_to_string(direct))
+        << algo;
+    EXPECT_FALSE(r.get_bool("cached", true));
+    EXPECT_EQ(r.get_string("id", ""), "t1");
+  }
+}
+
+TEST(Server, BoundedProcsArePassedThrough) {
+  ServerFixture f;
+  const TaskGraph g = random_graph(23);
+  SchedOptions opt;
+  opt.num_procs = 2;
+  const Schedule direct = make_scheduler("MCP")->run(g, opt);
+  const JsonValue r = f.ask(schedule_request(g, "MCP", "", 2));
+  EXPECT_EQ(static_cast<Time>(r.get_number("makespan", -1)),
+            direct.makespan());
+  EXPECT_LE(r.get_number("procs_used", 99), 2.0);
+}
+
+TEST(Server, ApnResponseMatchesDirectRun) {
+  ServerFixture f;
+  const TaskGraph g = random_graph(17, 40);
+  for (const char* algo : {"MH", "BSA"}) {
+    const JsonValue r = f.ask(
+        schedule_request(g, algo, "ring4", -1, /*want_schedule=*/true));
+    ASSERT_EQ(r.get_string("status", ""), "ok") << algo;
+    const RoutingTable routes{Topology::from_spec("ring4")};
+    NetSchedule direct = make_apn_scheduler(algo)->run(g, routes);
+    EXPECT_EQ(static_cast<Time>(r.get_number("makespan", -1)),
+              direct.makespan())
+        << algo;
+    EXPECT_EQ(static_cast<std::size_t>(r.get_number("messages", 0)),
+              direct.messages().size())
+        << algo;
+    EXPECT_EQ(r.get_string("schedule", ""), schedule_to_string(direct.tasks()))
+        << algo;
+  }
+}
+
+TEST(Server, ScheduleTextRoundTripsThroughScheduleIo) {
+  ServerFixture f;
+  const TaskGraph g = small_graph();
+  const JsonValue r =
+      f.ask(schedule_request(g, "ETF", "", -1, /*want_schedule=*/true));
+  const Schedule parsed = schedule_from_string(r.get_string("schedule", ""), g);
+  EXPECT_EQ(parsed.makespan(), static_cast<Time>(r.get_number("makespan", -1)));
+  EXPECT_TRUE(parsed.complete());
+}
+
+TEST(Server, SecondIdenticalSubmissionIsServedFromCache) {
+  ServerFixture f;
+  const TaskGraph g = random_graph(31);
+  UnixConn conn = f.connect();
+
+  const JsonValue first = ServerFixture::ask_on(conn, schedule_request(g, "MCP"));
+  ASSERT_EQ(first.get_string("status", ""), "ok");
+  EXPECT_FALSE(first.get_bool("cached", true));
+
+  // A *textually different but content-identical* resubmission: relabel
+  // the graph. The fingerprint sees through it.
+  TaskGraph relabeled = graph_from_string(
+      [&] {
+        std::string t = graph_to_string(g);
+        return t.replace(t.find(g.name()), g.name().size(), "other_name");
+      }());
+  const JsonValue second =
+      ServerFixture::ask_on(conn, schedule_request(relabeled, "MCP"));
+  ASSERT_EQ(second.get_string("status", ""), "ok");
+  EXPECT_TRUE(second.get_bool("cached", false));
+  EXPECT_EQ(second.get_number("makespan", -1), first.get_number("makespan", -2));
+
+  // Different algorithm or different machine: both miss.
+  EXPECT_FALSE(ServerFixture::ask_on(conn, schedule_request(g, "ETF"))
+                   .get_bool("cached", true));
+  EXPECT_FALSE(ServerFixture::ask_on(conn, schedule_request(g, "MCP", "", 2))
+                   .get_bool("cached", true));
+
+  const auto c = f.server->cache().counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 3u);
+}
+
+TEST(Server, CacheOptOutNeverTouchesTheCache) {
+  ServerFixture f;
+  const TaskGraph g = small_graph();
+  for (int i = 0; i < 2; ++i) {
+    const JsonValue r = f.ask(schedule_request(g, "MCP", "", -1, false,
+                                               /*cache=*/false));
+    EXPECT_FALSE(r.get_bool("cached", true));
+  }
+  const auto c = f.server->cache().counters();
+  EXPECT_EQ(c.hits, 0u);
+  EXPECT_EQ(c.misses, 0u);
+  EXPECT_EQ(c.size, 0u);
+}
+
+TEST(Server, StatsOpReportsCountersAndHistograms) {
+  ServerFixture f;
+  const TaskGraph g = small_graph();
+  UnixConn conn = f.connect();
+  ServerFixture::ask_on(conn, schedule_request(g, "MCP"));
+  ServerFixture::ask_on(conn, schedule_request(g, "MCP"));  // cache hit
+  ServerFixture::ask_on(conn, "{\"op\":\"schedule\"}");     // bad_request
+
+  const JsonValue s = ServerFixture::ask_on(conn, R"({"op":"stats"})");
+  ASSERT_EQ(s.get_string("status", ""), "ok");
+  EXPECT_EQ(s.get_number("requests_total", 0), 4.0);  // incl. this stats op
+  EXPECT_EQ(s.get_number("requests_ok", 0), 3.0);
+  EXPECT_EQ(s.get_number("requests_error", 0), 1.0);
+  EXPECT_EQ(s.get_number("requests_rejected", 0), 0.0);
+  EXPECT_EQ(s.get_number("cache_hits", 0), 1.0);
+  EXPECT_EQ(s.get_number("cache_misses", 0), 1.0);
+  EXPECT_EQ(s.get_number("queue_depth", 99), 0.0);
+  const JsonValue* mcp = s.find("algos")->find("MCP");
+  ASSERT_NE(mcp, nullptr);
+  EXPECT_EQ(mcp->get_number("computed", 0), 1.0);
+  EXPECT_EQ(mcp->get_number("cache_hits", 0), 1.0);
+  EXPECT_GE(mcp->get_number("p50_us", -1), 0.0);
+}
+
+TEST(Server, MalformedRequestsGetStructuredErrors) {
+  ServerFixture f;
+  UnixConn conn = f.connect();
+  const auto code_of = [&conn](const std::string& line) {
+    const JsonValue r = ServerFixture::ask_on(conn, line);
+    EXPECT_EQ(r.get_string("status", ""), "error");
+    return r.get_string("code", "");
+  };
+  EXPECT_EQ(code_of("this is not json"), "bad_json");
+  EXPECT_EQ(code_of(R"({"algo":"MCP"})"), "bad_request");
+  EXPECT_EQ(code_of(R"({"graph":"tgs1 g 1 0\nnode 0 -3\n","algo":"MCP"})"),
+            "bad_graph");
+  EXPECT_EQ(code_of(R"({"graph":"not a graph","algo":"MCP"})"), "bad_graph");
+  EXPECT_EQ(
+      code_of(schedule_request(small_graph(), "NOPE")), "unknown_algo");
+  // BNP names are not in the APN registry and vice versa.
+  EXPECT_EQ(code_of(schedule_request(small_graph(), "MCP", "ring4")),
+            "unknown_algo");
+  EXPECT_EQ(code_of(schedule_request(small_graph(), "MH")), "unknown_algo");
+  EXPECT_EQ(code_of(schedule_request(small_graph(), "MH", "blob9")),
+            "bad_topology");
+  // The connection survives every error above.
+  const JsonValue pong = ServerFixture::ask_on(conn, R"({"op":"ping"})");
+  EXPECT_EQ(pong.get_string("status", ""), "ok");
+}
+
+TEST(Server, ZeroCapacityQueueRejectsWithBackpressureStatus) {
+  ServeOptions opt;
+  opt.queue_capacity = 0;  // every computed request must be rejected
+  opt.cache_capacity = 0;  // and nothing can sneak in via the cache
+  ServerFixture f(opt);
+  const JsonValue r = f.ask(schedule_request(small_graph(), "MCP"));
+  EXPECT_EQ(r.get_string("status", ""), "error");
+  EXPECT_EQ(r.get_string("code", ""), "overloaded");
+  EXPECT_GE(r.get_number("queue_capacity", -1), 0.0);
+  ASSERT_NE(r.find("queue_depth"), nullptr);
+}
+
+TEST(Server, DlsApnAliasSharesTheCacheEntry) {
+  ServerFixture f;
+  const TaskGraph g = small_graph();
+  UnixConn conn = f.connect();
+  const JsonValue a =
+      ServerFixture::ask_on(conn, schedule_request(g, "DLS-APN", "ring4"));
+  ASSERT_EQ(a.get_string("status", ""), "ok");
+  const JsonValue b =
+      ServerFixture::ask_on(conn, schedule_request(g, "DLS", "ring4"));
+  EXPECT_TRUE(b.get_bool("cached", false));
+  EXPECT_EQ(a.get_number("makespan", -1), b.get_number("makespan", -2));
+}
+
+TEST(Server, ConcurrentMixedClientsMatchDirectRuns) {
+  // The acceptance demo: concurrent connections running 3+ BNP and 2 APN
+  // algorithms, every response byte-identical to a direct run.
+  ServerFixture f;
+  struct Case {
+    const char* algo;
+    const char* topology;  // nullptr = fully-connected
+    std::uint64_t seed;
+  };
+  const std::vector<Case> cases = {
+      {"MCP", nullptr, 101}, {"ETF", nullptr, 102}, {"DLS", nullptr, 103},
+      {"HLFET", nullptr, 104}, {"MH", "mesh2x2", 105}, {"BSA", "ring4", 106},
+      {"DLS", "ring4", 107}, {"MCP", nullptr, 101},  // duplicate of case 0
+  };
+  std::vector<std::string> got(cases.size());
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    clients.emplace_back([&f, &cases, &got, i] {
+      const TaskGraph g = random_graph(cases[i].seed, 50);
+      UnixConn conn = f.connect();
+      for (int rep = 0; rep < 3; ++rep) {
+        const JsonValue r = ServerFixture::ask_on(
+            conn, schedule_request(
+                      g, cases[i].algo,
+                      cases[i].topology ? cases[i].topology : ""));
+        ASSERT_EQ(r.get_string("status", ""), "ok");
+        got[i] = json_double(r.get_number("makespan", -1));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const TaskGraph g = random_graph(cases[i].seed, 50);
+    Time expect;
+    if (cases[i].topology == nullptr) {
+      expect = make_scheduler(cases[i].algo)->run(g, SchedOptions{}).makespan();
+    } else {
+      const RoutingTable routes{Topology::from_spec(cases[i].topology)};
+      expect = make_apn_scheduler(cases[i].algo)->run(g, routes).makespan();
+    }
+    EXPECT_EQ(got[i], json_double(static_cast<double>(expect)))
+        << cases[i].algo << " seed " << cases[i].seed;
+  }
+  // 8 clients x 3 reps = 24 schedule requests over <= 8 distinct inputs:
+  // at least the 16 strict repeats were cache hits.
+  EXPECT_GE(f.server->cache().counters().hits, 16u);
+}
+
+TEST(Server, PipelinedRequestsAllComeBack) {
+  // One connection, N requests written before any reply is read. Replies
+  // may arrive in any order; ids must cover the full set.
+  ServerFixture f;
+  UnixConn conn = f.connect();
+  constexpr int kN = 12;
+  const TaskGraph g = random_graph(55);
+  for (int i = 0; i < kN; ++i) {
+    JsonObject o;
+    o.add("id", "p" + std::to_string(i))
+        .add("graph", graph_to_string(g))
+        .add("algo", i % 2 == 0 ? "MCP" : "ETF")
+        .add("cache", false);
+    conn.write_line(o.str());
+  }
+  std::set<std::string> ids;
+  for (int i = 0; i < kN; ++i) {
+    std::string line;
+    ASSERT_TRUE(conn.read_line(&line));
+    const JsonValue r = json_parse(line);
+    EXPECT_EQ(r.get_string("status", ""), "ok");
+    ids.insert(r.get_string("id", ""));
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kN));
+}
+
+TEST(Server, ShutdownOpStopsTheDaemon) {
+  auto f = std::make_unique<ServerFixture>();
+  const std::string path = f->server->socket_path();
+  const JsonValue ack = f->ask(R"({"op":"shutdown"})");
+  EXPECT_EQ(ack.get_string("status", ""), "ok");
+  EXPECT_EQ(ack.get_string("op", ""), "shutdown");
+  f->thread.join();  // serve_forever returns without request_stop()
+  f.reset();
+  // Socket file is gone; connecting again must fail.
+  EXPECT_THROW(UnixConn::connect(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tgs

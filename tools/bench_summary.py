@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Summarize (or diff) the JSONL files the experiment engine writes.
+
+Usage:
+    bench_summary.py FILE.jsonl [FILE.jsonl ...]
+        Per-experiment summary of each file: row count and, for every
+        numeric field, min / median / max.
+
+    bench_summary.py --diff OLD.jsonl NEW.jsonl
+        Row-by-row comparison of two runs. Rows pair up on their identity
+        fields (experiment, pivot, row, column, job -- whichever are
+        present); any other field that changed is printed as old -> new.
+        Exit status 1 when the files differ, 0 when identical -- usable as
+        a CI gate against a golden run.
+
+Stdlib only; rows that fail to parse are counted and reported, not fatal.
+"""
+import argparse
+import json
+import statistics
+import sys
+
+# Fields that *identify* a row (sweep coordinates) rather than measure it.
+ID_FIELDS = ("experiment", "pivot", "row", "column", "job")
+
+
+def load_rows(path):
+    """Parse a JSONL file -> (rows, bad_line_numbers)."""
+    rows, bad = [], []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                bad.append(lineno)
+                continue
+            if isinstance(obj, dict):
+                rows.append(obj)
+            else:
+                bad.append(lineno)
+    return rows, bad
+
+
+def is_numeric(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def fmt(v):
+    if isinstance(v, float) and not v.is_integer():
+        return f"{v:.6g}"
+    return str(int(v)) if isinstance(v, float) else str(v)
+
+
+def summarize(path):
+    rows, bad = load_rows(path)
+    print(f"== {path}: {len(rows)} rows"
+          + (f" ({len(bad)} unparseable lines skipped)" if bad else ""))
+    by_exp = {}
+    for r in rows:
+        by_exp.setdefault(r.get("experiment", "(none)"), []).append(r)
+    for exp in sorted(by_exp):
+        chunk = by_exp[exp]
+        print(f"  {exp}: {len(chunk)} rows")
+        fields = sorted({k for r in chunk for k, v in r.items()
+                         if is_numeric(v) and k not in ID_FIELDS})
+        for field in fields:
+            vals = [r[field] for r in chunk if is_numeric(r.get(field))]
+            print(f"    {field:<12} n={len(vals):<5} min={fmt(min(vals)):<12}"
+                  f" median={fmt(statistics.median(vals)):<12}"
+                  f" max={fmt(max(vals))}")
+    return bool(bad)
+
+
+def row_key(r):
+    return tuple((k, r[k]) for k in ID_FIELDS if k in r)
+
+
+def diff(old_path, new_path):
+    old_rows, old_bad = load_rows(old_path)
+    new_rows, new_bad = load_rows(new_path)
+    for path, bad in ((old_path, old_bad), (new_path, new_bad)):
+        if bad:
+            print(f"warning: {path}: {len(bad)} unparseable lines skipped",
+                  file=sys.stderr)
+
+    def index(rows, path):
+        out = {}
+        for r in rows:
+            key = row_key(r)
+            if key in out:
+                print(f"warning: {path}: duplicate row key {dict(key)}",
+                      file=sys.stderr)
+            out[key] = r
+        return out
+
+    old, new = index(old_rows, old_path), index(new_rows, new_path)
+    changed = 0
+    for key in sorted(set(old) | set(new), key=repr):
+        label = " ".join(f"{k}={v}" for k, v in key) or "(keyless row)"
+        if key not in new:
+            print(f"- only in {old_path}: {label}")
+            changed += 1
+            continue
+        if key not in old:
+            print(f"+ only in {new_path}: {label}")
+            changed += 1
+            continue
+        a, b = old[key], new[key]
+        deltas = []
+        for field in sorted(set(a) | set(b)):
+            if field in ID_FIELDS:
+                continue
+            va, vb = a.get(field), b.get(field)
+            if va != vb:
+                deltas.append(f"{field}: {fmt(va) if va is not None else '~'}"
+                              f" -> {fmt(vb) if vb is not None else '~'}")
+        if deltas:
+            print(f"~ {label}: " + "; ".join(deltas))
+            changed += 1
+    if changed:
+        print(f"{changed} row(s) differ")
+        return 1
+    print(f"identical: {len(old)} rows match")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="+", metavar="FILE.jsonl")
+    ap.add_argument("--diff", action="store_true",
+                    help="compare exactly two files row-by-row")
+    args = ap.parse_args()
+
+    if args.diff:
+        if len(args.files) != 2:
+            ap.error("--diff needs exactly two files")
+        return diff(args.files[0], args.files[1])
+
+    had_bad = False
+    for path in args.files:
+        had_bad |= summarize(path)
+    return 1 if had_bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
