@@ -8,7 +8,7 @@
 // against (tools/check_perf_regression.py, >2x real_time fails).
 //
 // Regenerate the baseline with:
-//   ./build/tgs_perf --benchmark_out=BENCH_schedulers.json \
+//   ./build/tgs_perf --benchmark_out=BENCH_schedulers.json
 //                    --benchmark_out_format=json
 #include <benchmark/benchmark.h>
 
@@ -16,6 +16,7 @@
 
 #include "reference_schedulers.h"
 #include "reference_timeline.h"
+#include "tgs/apn/bsa.h"
 #include "tgs/apn/dls_apn.h"
 #include "tgs/apn/mh.h"
 #include "tgs/bnp/dls.h"
@@ -124,6 +125,32 @@ void BM_Mh_Apn(benchmark::State& state) {
     benchmark::DoNotOptimize(MhScheduler().run(g, routes, ws).makespan());
 }
 BENCHMARK(BM_Mh_Apn)->Arg(100)->Arg(300);
+
+// BSA on the incremental migration engine: every tentative migration
+// releases and recommits only the affected downstream region of the
+// commit order (apn_common.h ApnMigrationEngine).
+void BM_Bsa_Apn(benchmark::State& state) {
+  const TaskGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+  const RoutingTable routes{Topology::hypercube(3)};
+  SchedWorkspace ws;
+  ws.begin_graph(g);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(BsaScheduler().run(g, routes, ws).makespan());
+}
+BENCHMARK(BM_Bsa_Apn)->Arg(100)->Arg(300)->Arg(500);
+
+// The retired O(full-rebuild) BSA (tests/reference_schedulers.h): one
+// apn_build_with_assignment from scratch per tentative migration. Run at
+// the same sizes as BM_Bsa_Apn so the in-run ratio at v=500 (the
+// migration engine's reason to exist) is asserted by the CI perf gate.
+void BM_Bsa_FullRebuild(benchmark::State& state) {
+  const TaskGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+  const RoutingTable routes{Topology::hypercube(3)};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        reference::full_rebuild_bsa(g, routes).makespan());
+}
+BENCHMARK(BM_Bsa_FullRebuild)->Arg(100)->Arg(300)->Arg(500);
 
 // ------------------------------------------------------------ net layer --
 

@@ -13,6 +13,8 @@ NetSchedule BsaScheduler::do_run(const TaskGraph& g, const RoutingTable& routes,
   // Serial injection: everything on the first pivot.
   std::vector<ProcId> assign(g.num_nodes(), static_cast<ProcId>(pivot0));
   NetSchedule ns = apn_build_with_assignment(g, routes, assign, /*insertion=*/true);
+  ApnMigrationEngine engine(ns, assign, /*insertion=*/true,
+                            ws.migration_scratch());
 
   // Breadth-first pivot order from pivot0 (neighbours ascend by id).
   std::vector<int> pivots;
@@ -62,15 +64,24 @@ NetSchedule BsaScheduler::do_run(const TaskGraph& g, const RoutingTable& routes,
       }
       if (best_p < 0) continue;
 
-      // Tentatively migrate; roll back if the overall schedule suffers.
+      // Tentatively migrate (incremental release/recommit of only the
+      // affected downstream region; byte-identical to a full rebuild
+      // with the updated assignment) and roll back if the overall
+      // schedule suffers.
+      //
+      // Tie rule: an EQUAL-makespan migration is accepted (<=, not <).
+      // The task still moves even though the schedule as a whole gained
+      // nothing -- its own start improved (the probe gate above is
+      // strict), which is what lets later tasks bubble through the freed
+      // pivot slot. The goldens (test_apn.cpp mesh23, the JSONL
+      // snapshots) and Bsa.EqualMakespanMigrationIsAccepted pin this;
+      // changing <= to < is a behaviour change, not a cleanup.
       const Time before = ns.makespan();
-      assign[n] = static_cast<ProcId>(best_p);
-      NetSchedule rebuilt =
-          apn_build_with_assignment(g, routes, assign, /*insertion=*/true);
-      if (rebuilt.makespan() <= before) {
-        ns = std::move(rebuilt);
+      const Time after = engine.apply(n, static_cast<ProcId>(best_p));
+      if (after <= before) {
+        engine.commit();
       } else {
-        assign[n] = static_cast<ProcId>(pivot);
+        engine.rollback();
       }
     }
   }

@@ -10,10 +10,13 @@
 // strength on large graphs to "an efficient scheduling of communication
 // messages", which the explicit link re-routing reproduces.
 //
-// Implementation note: after every accepted migration the task + message
-// schedule is deterministically rebuilt from the assignment (the original
-// paper updates the schedule incrementally; rebuilding is equivalent for
-// the final schedule and keeps link bookkeeping simple).
+// Implementation note: every tentative migration runs on the incremental
+// ApnMigrationEngine (apn_common.h): only the affected downstream region
+// of the fixed b-level commit order is released and recommitted, with a
+// snapshot/rollback path for rejected migrations. The result is defined
+// to be byte-identical to deterministically rebuilding the whole schedule
+// from the assignment (the historical implementation, kept as the
+// property-test reference in tests/reference_schedulers.h).
 #pragma once
 
 #include "tgs/apn/apn_common.h"

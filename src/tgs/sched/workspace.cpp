@@ -1,10 +1,13 @@
 #include "tgs/sched/workspace.h"
 
+#include "tgs/apn/apn_common.h"  // complete ApnMigrationScratch
 #include "tgs/bnp/bnp_common.h"  // complete PairScratch for the unique_ptr
 
 namespace tgs {
 
-SchedWorkspace::SchedWorkspace() : pair_(std::make_unique<PairScratch>()) {}
+SchedWorkspace::SchedWorkspace()
+    : pair_(std::make_unique<PairScratch>()),
+      migration_(std::make_unique<ApnMigrationScratch>()) {}
 
 SchedWorkspace::~SchedWorkspace() = default;
 

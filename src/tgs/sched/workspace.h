@@ -15,6 +15,10 @@
 //  * ApnSweepScratch -- the per-processor buffers of the one-to-all APN
 //    probes (apn/apn_common.h), so the per-step sweeps of MH / DLS(APN) /
 //    BSA allocate nothing in steady state.
+//  * ApnMigrationScratch -- the affected-set flags and snapshot pools of
+//    the incremental migration engine (apn/apn_common.h) that BSA's
+//    tentative release/recommit steps run on. Stored behind a pointer so
+//    sched/ does not include net/ or apn/ headers.
 //
 // Results never depend on workspace contents -- it only recycles capacity
 // -- so sharing one workspace across algorithms or reusing it across
@@ -30,7 +34,8 @@
 
 namespace tgs {
 
-struct PairScratch;  // bnp/bnp_common.h
+struct PairScratch;          // bnp/bnp_common.h
+struct ApnMigrationScratch;  // apn/apn_common.h
 
 /// Reusable per-processor buffers of the one-to-all APN probes
 /// (apn_probe_est_all): one arrival sweep, the running data-ready maxima,
@@ -66,11 +71,16 @@ class SchedWorkspace {
   /// One-to-all APN probe buffers (sized by callers per topology).
   ApnSweepScratch& apn_scratch() { return apn_; }
 
+  /// Incremental-migration scratch (affected-set flags, snapshot pools)
+  /// of ApnMigrationEngine; sized by the engine per (graph, topology).
+  ApnMigrationScratch& migration_scratch() { return *migration_; }
+
  private:
   const TaskGraph* graph_ = nullptr;
   GraphAttributeCache attrs_;
   std::unique_ptr<PairScratch> pair_;
   ApnSweepScratch apn_;
+  std::unique_ptr<ApnMigrationScratch> migration_;
 };
 
 }  // namespace tgs

@@ -2,14 +2,17 @@
 """Compare a fresh tgs_perf JSON run against the committed baseline.
 
 Usage: check_perf_regression.py BASELINE.json CURRENT.json [--factor 2.0]
-           [--min-ratio SLOW:FAST:FACTOR ...]
+           [--min-ratio SLOW:FAST:FACTOR ...] [--allow-missing]
 
 Fails (exit 1) when any benchmark present in BOTH files regressed by more
-than --factor in real_time. Benchmarks only present on one side are
-reported but do not fail the check (adding or retiring a benchmark is a
-reviewed change, not a regression). Absolute times differ across machines;
-a generous factor catches algorithmic regressions (the thing this gate is
-for) while tolerating runner noise.
+than --factor in real_time, and when a baseline benchmark is MISSING from
+the current run -- a deleted or renamed benchmark must update the
+committed baseline in the same change, not silently drop out of the gate.
+Pass --allow-missing during deliberate migrations to downgrade MISSING to
+a report-only line. Benchmarks only present in the current run (NEW) never
+fail: adding one is safe before the baseline is regenerated. Absolute
+times differ across machines; a generous factor catches algorithmic
+regressions (the thing this gate is for) while tolerating runner noise.
 
 --min-ratio asserts SLOW/FAST >= FACTOR *within the current run only*
 (e.g. BM_Etf_Naive/500:BM_Etf/500:5). Both sides ran on the same machine
@@ -39,6 +42,10 @@ def main():
     ap.add_argument("--factor", type=float, default=2.0)
     ap.add_argument("--min-ratio", action="append", default=[],
                     metavar="SLOW:FAST:FACTOR")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="report baseline benchmarks absent from the "
+                         "current run without failing (benchmark "
+                         "migrations)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -54,6 +61,8 @@ def main():
             continue
         if name not in cur:
             print(f"  MISSING  {name} (in baseline, not in current run)")
+            if not args.allow_missing:
+                failed.append(f"MISSING:{name}")
             continue
         ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
         tag = "REGRESS" if ratio > args.factor else "ok"
