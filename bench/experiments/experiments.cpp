@@ -31,6 +31,7 @@ const ExperimentRegistry& experiments() {
     register_traced_experiments(r);
     register_ablation_experiments(r);
     register_runtime_experiments(r);
+    register_param_experiments(r);
     return r;
   }();
   return registry;

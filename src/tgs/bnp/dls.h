@@ -7,25 +7,28 @@
 // where SL is the static level; the pair with the LARGEST dynamic level is
 // scheduled next. Unlike ETF, a node with high static level can win even
 // when its start time is not globally earliest. The exhaustive pair search
-// makes DLS one of the slower BNP algorithms (the paper's Table 6 agrees).
-// Complexity O(p v^2) with the O(1) arrival cache.
+// makes DLS one of the slower BNP algorithms (the paper's Table 6 agrees);
+// our runs go through the IncrementalPairSelector (bnp_common.h) via the
+// ParamScheduler core.
+//
+// Expressed as the parameter point sl/dls/append/none; byte-identical to
+// the naive textbook loop (tests/reference_schedulers.h naive_dls,
+// enforced by test_pair_selector.cpp and test_param.cpp).
 //
 // The APN variant, which routes messages on a contended network, lives in
 // apn/dls_apn.h; the paper counts DLS in both classes.
 #pragma once
 
-#include "tgs/sched/scheduler.h"
+#include "tgs/param/param_scheduler.h"
 
 namespace tgs {
 
-class DlsScheduler final : public Scheduler {
+class DlsScheduler final : public ParamScheduler {
  public:
-  std::string name() const override { return "DLS"; }
-  AlgoClass algo_class() const override { return AlgoClass::kBNP; }
-
- protected:
-  Schedule do_run(const TaskGraph& g, const SchedOptions& opt,
-                  SchedWorkspace& ws) const override;
+  DlsScheduler()
+      : ParamScheduler({ParamMetric::kSL, ParamReady::kPairDls,
+                        ParamInsertion::kAppend, ParamCluster::kNone},
+                       "DLS", AlgoClass::kBNP) {}
 };
 
 }  // namespace tgs

@@ -6,21 +6,25 @@
 // (ready node, processor) pair and the globally earliest pair is chosen;
 // ties are resolved in favour of the node with the higher static level.
 // The exhaustive pair search is why the paper measures ETF among the
-// slowest BNP algorithms (complexity O(p v^2)).
+// slowest BNP algorithms (complexity O(p v^2)); our runs go through the
+// IncrementalPairSelector (bnp_common.h), which the ParamScheduler core
+// keeps using for every non-clustered pair-selection point.
+//
+// Expressed as the parameter point sl/etf/append/none; byte-identical to
+// the naive textbook loop (tests/reference_schedulers.h naive_etf,
+// enforced by test_pair_selector.cpp and test_param.cpp).
 #pragma once
 
-#include "tgs/sched/scheduler.h"
+#include "tgs/param/param_scheduler.h"
 
 namespace tgs {
 
-class EtfScheduler final : public Scheduler {
+class EtfScheduler final : public ParamScheduler {
  public:
-  std::string name() const override { return "ETF"; }
-  AlgoClass algo_class() const override { return AlgoClass::kBNP; }
-
- protected:
-  Schedule do_run(const TaskGraph& g, const SchedOptions& opt,
-                  SchedWorkspace& ws) const override;
+  EtfScheduler()
+      : ParamScheduler({ParamMetric::kSL, ParamReady::kPairEtf,
+                        ParamInsertion::kAppend, ParamCluster::kNone},
+                       "ETF", AlgoClass::kBNP) {}
 };
 
 }  // namespace tgs

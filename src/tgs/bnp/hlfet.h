@@ -6,20 +6,22 @@
 // ignored). At each step the ready node with the highest static level is
 // scheduled on the processor that allows the earliest start time, appending
 // after the processor's last task. Complexity O(v^2).
+//
+// Expressed as the parameter point sl/static/append/none of the
+// ParamScheduler core; byte-identical to the retired standalone body
+// (tests/reference_named.h, enforced by test_param.cpp).
 #pragma once
 
-#include "tgs/sched/scheduler.h"
+#include "tgs/param/param_scheduler.h"
 
 namespace tgs {
 
-class HlfetScheduler final : public Scheduler {
+class HlfetScheduler final : public ParamScheduler {
  public:
-  std::string name() const override { return "HLFET"; }
-  AlgoClass algo_class() const override { return AlgoClass::kBNP; }
-
- protected:
-  Schedule do_run(const TaskGraph& g, const SchedOptions& opt,
-                  SchedWorkspace& ws) const override;
+  HlfetScheduler()
+      : ParamScheduler({ParamMetric::kSL, ParamReady::kStatic,
+                        ParamInsertion::kAppend, ParamCluster::kNone},
+                       "HLFET", AlgoClass::kBNP) {}
 };
 
 }  // namespace tgs

@@ -8,20 +8,22 @@
 // a message), the hole is filled with other ready nodes that fit without
 // delaying the node. The paper singles ISH out as evidence that "insertion
 // is better than non-insertion". Complexity O(v^2).
+//
+// Expressed as the parameter point sl/static/hole/none of the
+// ParamScheduler core; byte-identical to the retired standalone body
+// (tests/reference_named.h, enforced by test_param.cpp).
 #pragma once
 
-#include "tgs/sched/scheduler.h"
+#include "tgs/param/param_scheduler.h"
 
 namespace tgs {
 
-class IshScheduler final : public Scheduler {
+class IshScheduler final : public ParamScheduler {
  public:
-  std::string name() const override { return "ISH"; }
-  AlgoClass algo_class() const override { return AlgoClass::kBNP; }
-
- protected:
-  Schedule do_run(const TaskGraph& g, const SchedOptions& opt,
-                  SchedWorkspace& ws) const override;
+  IshScheduler()
+      : ParamScheduler({ParamMetric::kSL, ParamReady::kStatic,
+                        ParamInsertion::kHole, ParamCluster::kNone},
+                       "ISH", AlgoClass::kBNP) {}
 };
 
 }  // namespace tgs

@@ -14,20 +14,22 @@
 // children formulation of Kwok & Ahmad's survey. Because
 // ALAP(parent) < ALAP(child) always holds, the resulting order is
 // automatically topologically consistent.
+//
+// Expressed as the parameter point alaplist/static/insert/none of the
+// ParamScheduler core; byte-identical to the retired standalone body
+// (tests/reference_named.h, enforced by test_param.cpp).
 #pragma once
 
-#include "tgs/sched/scheduler.h"
+#include "tgs/param/param_scheduler.h"
 
 namespace tgs {
 
-class McpScheduler final : public Scheduler {
+class McpScheduler final : public ParamScheduler {
  public:
-  std::string name() const override { return "MCP"; }
-  AlgoClass algo_class() const override { return AlgoClass::kBNP; }
-
- protected:
-  Schedule do_run(const TaskGraph& g, const SchedOptions& opt,
-                  SchedWorkspace& ws) const override;
+  McpScheduler()
+      : ParamScheduler({ParamMetric::kAlapList, ParamReady::kStatic,
+                        ParamInsertion::kInsert, ParamCluster::kNone},
+                       "MCP", AlgoClass::kBNP) {}
 };
 
 }  // namespace tgs

@@ -35,6 +35,7 @@ std::vector<Time> static_levels(const TaskGraph& g);
 void t_levels_into(const TaskGraph& g, std::vector<Time>& out);
 void b_levels_into(const TaskGraph& g, std::vector<Time>& out);
 void static_levels_into(const TaskGraph& g, std::vector<Time>& out);
+void comp_t_levels_into(const TaskGraph& g, std::vector<Time>& out);
 
 /// t-level counting node weights only (comm-free earliest start).
 std::vector<Time> comp_t_levels(const TaskGraph& g);
@@ -87,6 +88,7 @@ class GraphAttributeCache {
   const std::vector<Time>& static_levels();
   const std::vector<Time>& b_levels();
   const std::vector<Time>& t_levels();
+  const std::vector<Time>& comp_t_levels();
   const std::vector<Time>& alap_times();
   Time critical_path_length();
 
@@ -94,9 +96,9 @@ class GraphAttributeCache {
   const TaskGraph& bound() const;
 
   const TaskGraph* graph_ = nullptr;
-  std::vector<Time> sl_, bl_, tl_, alap_;
+  std::vector<Time> sl_, bl_, tl_, ctl_, alap_;
   bool have_sl_ = false, have_bl_ = false, have_tl_ = false,
-       have_alap_ = false, have_cp_ = false;
+       have_ctl_ = false, have_alap_ = false, have_cp_ = false;
   Time cp_len_ = 0;
 };
 

@@ -12,6 +12,7 @@
 #include "tgs/bnp/ish.h"
 #include "tgs/bnp/last.h"
 #include "tgs/bnp/mcp.h"
+#include "tgs/param/param_scheduler.h"
 #include "tgs/unc/dcp.h"
 #include "tgs/unc/dsc.h"
 #include "tgs/unc/ez.h"
@@ -56,18 +57,38 @@ std::vector<ApnSchedulerPtr> make_apn_schedulers() {
   return out;
 }
 
+namespace {
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
 SchedulerPtr make_scheduler(const std::string& name) {
+  if (ParamSpec::is_spec(name))
+    return std::make_unique<ParamScheduler>(ParamSpec::parse(name));
   for (auto maker : {make_unc_schedulers, make_bnp_schedulers})
     for (auto& s : maker())
       if (s->name() == name) return std::move(s);
-  throw std::invalid_argument("unknown scheduler: " + name);
+  throw std::invalid_argument(
+      "unknown scheduler '" + name + "'; valid names: " +
+      join_names(unc_names()) + " (UNC), " + join_names(bnp_names()) +
+      " (BNP), or a parameter point -- " + param_spec_grammar());
 }
 
 ApnSchedulerPtr make_apn_scheduler(const std::string& name) {
   for (auto& s : make_apn_schedulers())
     if (s->name() == name || (name == "DLS-APN" && s->name() == "DLS"))
       return std::move(s);
-  throw std::invalid_argument("unknown APN scheduler: " + name);
+  throw std::invalid_argument("unknown APN scheduler '" + name +
+                              "'; valid names: " + join_names(apn_names()) +
+                              " (and DLS-APN as an alias for DLS)");
 }
 
 std::vector<std::string> bnp_names() {

@@ -25,8 +25,12 @@ std::vector<SchedulerPtr> make_unc_and_bnp_schedulers();
 /// Fresh instances of the four APN algorithms.
 std::vector<ApnSchedulerPtr> make_apn_schedulers();
 
-/// Lookup by table name ("MCP", "DCP", ...); throws std::invalid_argument
-/// for unknown names. APN names: "MH", "DLS-APN"/"DLS", "BU", "BSA".
+/// Lookup by table name ("MCP", "DCP", ...) or by a parameterized-scheduler
+/// spec "param:<metric>/<ready>/<insertion>[/<cluster>]" (see
+/// src/tgs/param/param_spec.h for the token grammar). Throws
+/// std::invalid_argument for unknown names; the message enumerates the
+/// valid names and the param: grammar. APN names: "MH", "DLS-APN"/"DLS",
+/// "BU", "BSA".
 SchedulerPtr make_scheduler(const std::string& name);
 ApnSchedulerPtr make_apn_scheduler(const std::string& name);
 

@@ -83,6 +83,13 @@ Schedule map_clusters_sarkar(const TaskGraph& g,
 Schedule map_clusters_rcp(const TaskGraph& g,
                           const std::vector<ProcId>& clusters,
                           int num_procs) {
+  return schedule_with_assignment(
+      g, rcp_cluster_assignment(g, clusters, num_procs));
+}
+
+std::vector<ProcId> rcp_cluster_assignment(const TaskGraph& g,
+                                           const std::vector<ProcId>& clusters,
+                                           int num_procs) {
   const auto info = collect_clusters(g, clusters);
   std::vector<Cost> load(num_procs, 0);
   std::vector<ProcId> assign(g.num_nodes(), 0);
@@ -93,7 +100,7 @@ Schedule map_clusters_rcp(const TaskGraph& g,
     for (NodeId n : c.members) assign[n] = p;
     load[p] += c.work;
   }
-  return schedule_with_assignment(g, assign);
+  return assign;
 }
 
 }  // namespace tgs

@@ -1,0 +1,73 @@
+// ParamScheduler: one list-scheduling core executing any ParamSpec point
+// behind the ordinary Scheduler NVI. The named BNP/UNC list algorithms are
+// thin subclasses that pin a spec and a table name (bnp/hlfet.h, unc/ez.h,
+// ...); every other point of the crossproduct is a novel combination
+// reachable via make_scheduler("param:...") and the param_sweep experiment.
+//
+// Execution model (docs/parameterized.md has the axis taxonomy and the
+// byte-identity map against the original standalone implementations):
+//
+//  1. metric -> a per-node scalar key plus a total priority order (rank).
+//  2. optional cluster pre-pass -> a fixed node -> cluster assignment
+//     (comm inside a cluster is free; clusters are folded LPT-style onto
+//     opt.num_procs when they exceed a bounded machine).
+//  3. list phase: the ready policy picks the next node (and processor),
+//     the insertion policy places it; kHole back-fills the idle gap the
+//     placement created. Pair policies without a cluster run on the
+//     IncrementalPairSelector, so param ETF/DLS keep the PR 4 speedups.
+//
+// Determinism: every choice breaks ties by (rank, node id, processor id),
+// and rank itself encodes the smallest-id tie-break, so equal inputs give
+// bit-identical schedules at any thread count, with or without a shared
+// workspace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tgs/param/param_spec.h"
+#include "tgs/sched/scheduler.h"
+
+namespace tgs {
+
+/// Reusable buffers of the parameterized core, owned by a SchedWorkspace
+/// (behind a pointer so sched/ does not include param/ headers). Capacity
+/// survives across runs; contents never do.
+struct ParamScratch {
+  std::vector<Time> key;      // metric scalar, larger = more urgent
+  std::vector<int> rank;      // total priority order, 0 = first
+  std::vector<NodeId> order;  // scratch for building rank
+  std::vector<Time> arrival;  // kDynamic: frozen arrival time per node
+  std::vector<ProcId> assign; // cluster pre-pass: node -> processor
+};
+
+class ParamScheduler : public Scheduler {
+ public:
+  /// Anonymous point: name() is the canonical spec string, algo_class()
+  /// kUNC when a cluster step is present, else kBNP.
+  explicit ParamScheduler(const ParamSpec& spec);
+
+  /// Named point (HLFET, EZ, ...): keeps the classic table name and class.
+  ParamScheduler(const ParamSpec& spec, std::string name, AlgoClass cls);
+
+  std::string name() const override { return name_; }
+  AlgoClass algo_class() const override { return class_; }
+  const ParamSpec& spec() const { return spec_; }
+
+ protected:
+  Schedule do_run(const TaskGraph& g, const SchedOptions& opt,
+                  SchedWorkspace& ws) const override;
+
+ private:
+  ParamSpec spec_;
+  std::string name_;
+  AlgoClass class_;
+};
+
+/// Fill `ps.key` / `ps.rank` for `metric` on the graph bound to `attrs`.
+/// Exposed for tests; ranks are a permutation encoding (key desc, id asc)
+/// -- lexicographic ALAP-list order for kAlapList.
+void compute_param_metric(ParamMetric metric, GraphAttributeCache& attrs,
+                          ParamScratch& ps);
+
+}  // namespace tgs

@@ -1,0 +1,156 @@
+#include "tgs/param/param_spec.h"
+
+#include <stdexcept>
+
+namespace tgs {
+
+namespace {
+
+constexpr const char* kPrefix = "param:";
+
+template <typename E>
+E token_to_enum(const std::string& tok, const std::vector<E>& all,
+                const char* (*name_of)(E), const char* axis) {
+  for (E e : all)
+    if (tok == name_of(e)) return e;
+  throw std::invalid_argument("unknown " + std::string(axis) + " token '" +
+                              tok + "' in param spec; " +
+                              param_spec_grammar());
+}
+
+template <typename E>
+std::string join_tokens(const std::vector<E>& all, const char* (*name_of)(E)) {
+  std::string out;
+  for (E e : all) {
+    if (!out.empty()) out += "|";
+    out += name_of(e);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* param_metric_token(ParamMetric m) {
+  switch (m) {
+    case ParamMetric::kSL: return "sl";
+    case ParamMetric::kBL: return "bl";
+    case ParamMetric::kTL: return "tl";
+    case ParamMetric::kALAP: return "alap";
+    case ParamMetric::kBLminusTL: return "bl-tl";
+    case ParamMetric::kCP: return "cp";
+    case ParamMetric::kAlapList: return "alaplist";
+  }
+  return "?";
+}
+
+const char* param_ready_token(ParamReady r) {
+  switch (r) {
+    case ParamReady::kStatic: return "static";
+    case ParamReady::kDynamic: return "dynamic";
+    case ParamReady::kPairEtf: return "etf";
+    case ParamReady::kPairDls: return "dls";
+  }
+  return "?";
+}
+
+const char* param_insertion_token(ParamInsertion i) {
+  switch (i) {
+    case ParamInsertion::kAppend: return "append";
+    case ParamInsertion::kInsert: return "insert";
+    case ParamInsertion::kHole: return "hole";
+  }
+  return "?";
+}
+
+const char* param_cluster_token(ParamCluster c) {
+  switch (c) {
+    case ParamCluster::kNone: return "none";
+    case ParamCluster::kEz: return "ez";
+    case ParamCluster::kLc: return "lc";
+    case ParamCluster::kDsc: return "dsc";
+  }
+  return "?";
+}
+
+const std::vector<ParamMetric>& all_param_metrics() {
+  static const std::vector<ParamMetric> all{
+      ParamMetric::kSL,        ParamMetric::kBL, ParamMetric::kTL,
+      ParamMetric::kALAP,      ParamMetric::kCP, ParamMetric::kBLminusTL,
+      ParamMetric::kAlapList};
+  return all;
+}
+
+const std::vector<ParamReady>& all_param_readies() {
+  static const std::vector<ParamReady> all{
+      ParamReady::kStatic, ParamReady::kDynamic, ParamReady::kPairEtf,
+      ParamReady::kPairDls};
+  return all;
+}
+
+const std::vector<ParamInsertion>& all_param_insertions() {
+  static const std::vector<ParamInsertion> all{
+      ParamInsertion::kAppend, ParamInsertion::kInsert, ParamInsertion::kHole};
+  return all;
+}
+
+const std::vector<ParamCluster>& all_param_clusters() {
+  static const std::vector<ParamCluster> all{
+      ParamCluster::kNone, ParamCluster::kEz, ParamCluster::kLc,
+      ParamCluster::kDsc};
+  return all;
+}
+
+std::string param_spec_grammar() {
+  return "expected param:<metric>/<ready>/<insertion>[/<cluster>] with "
+         "metric={" +
+         join_tokens(all_param_metrics(), param_metric_token) + "} ready={" +
+         join_tokens(all_param_readies(), param_ready_token) +
+         "} insertion={" +
+         join_tokens(all_param_insertions(), param_insertion_token) +
+         "} cluster={" +
+         join_tokens(all_param_clusters(), param_cluster_token) + "}";
+}
+
+std::string ParamSpec::to_string() const {
+  return std::string(kPrefix) + param_metric_token(metric) + "/" +
+         param_ready_token(ready) + "/" + param_insertion_token(insertion) +
+         "/" + param_cluster_token(cluster);
+}
+
+bool ParamSpec::is_spec(const std::string& name) {
+  return name.rfind(kPrefix, 0) == 0;
+}
+
+ParamSpec ParamSpec::parse(const std::string& text) {
+  std::string body = text;
+  if (is_spec(body)) body = body.substr(std::string(kPrefix).size());
+
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t slash = body.find('/', start);
+    tokens.push_back(body.substr(start, slash - start));
+    if (slash == std::string::npos) break;
+    start = slash + 1;
+  }
+  if (tokens.size() < 3 || tokens.size() > 4)
+    throw std::invalid_argument("param spec '" + text + "' has " +
+                                std::to_string(tokens.size()) +
+                                " segment(s); " + param_spec_grammar());
+
+  ParamSpec spec;
+  spec.metric = token_to_enum(tokens[0], all_param_metrics(),
+                              param_metric_token, "metric");
+  spec.ready =
+      token_to_enum(tokens[1], all_param_readies(), param_ready_token,
+                    "ready");
+  spec.insertion = token_to_enum(tokens[2], all_param_insertions(),
+                                 param_insertion_token, "insertion");
+  spec.cluster = tokens.size() == 4
+                     ? token_to_enum(tokens[3], all_param_clusters(),
+                                     param_cluster_token, "cluster")
+                     : ParamCluster::kNone;
+  return spec;
+}
+
+}  // namespace tgs

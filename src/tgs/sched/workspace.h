@@ -36,6 +36,7 @@ namespace tgs {
 
 struct PairScratch;          // bnp/bnp_common.h
 struct ApnMigrationScratch;  // apn/apn_common.h
+struct ParamScratch;         // param/param_scheduler.h
 
 /// Reusable per-processor buffers of the one-to-all APN probes
 /// (apn_probe_est_all): one arrival sweep, the running data-ready maxima,
@@ -75,12 +76,18 @@ class SchedWorkspace {
   /// of ApnMigrationEngine; sized by the engine per (graph, topology).
   ApnMigrationScratch& migration_scratch() { return *migration_; }
 
+  /// Per-run buffers of the parameterized scheduler core (priority keys,
+  /// static ranks, arrival times, cluster assignment); sized by
+  /// ParamScheduler per run.
+  ParamScratch& param_scratch() { return *param_; }
+
  private:
   const TaskGraph* graph_ = nullptr;
   GraphAttributeCache attrs_;
   std::unique_ptr<PairScratch> pair_;
   ApnSweepScratch apn_;
   std::unique_ptr<ApnMigrationScratch> migration_;
+  std::unique_ptr<ParamScratch> param_;
 };
 
 }  // namespace tgs

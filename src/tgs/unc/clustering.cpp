@@ -3,6 +3,9 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "tgs/sched/schedule.h"
+#include "tgs/unc/dsc.h"
+
 namespace tgs {
 
 DisjointSets::DisjointSets(std::size_t n) : parent_(n) {
@@ -54,6 +57,16 @@ std::vector<ProcId> densify(const std::vector<NodeId>& labels) {
     out[i] = it->second;
   }
   return out;
+}
+
+std::vector<ProcId> dsc_clusters(const TaskGraph& g) {
+  // DSC assigns start times while it clusters; the schedule IS the
+  // clustering. Run it and keep only the processor (= cluster) labels.
+  const Schedule s = DscScheduler().run(g, {});
+  std::vector<NodeId> labels(g.num_nodes());
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    labels[n] = static_cast<NodeId>(s.proc(n));
+  return densify(labels);
 }
 
 }  // namespace tgs

@@ -13,6 +13,8 @@
 
 namespace tgs {
 
+class TaskGraph;
+
 class DisjointSets {
  public:
   explicit DisjointSets(std::size_t n);
@@ -49,5 +51,20 @@ std::vector<ProcId> dense_assignment(const DisjointSets& ds);
 /// Dense renumbering of an arbitrary assignment vector (cluster labels of
 /// any kind -> 0-based processor ids ordered by first appearance).
 std::vector<ProcId> densify(const std::vector<NodeId>& labels);
+
+// The clustering cores of the UNC algorithms, returning the dense
+// node -> cluster assignment without materializing a Schedule. These are
+// the ClusterStep components of the parameterized scheduler
+// (src/tgs/param/); EZ and LC themselves are the parameter points
+// bl/static/append/{ez,lc} built on the first two.
+//   ez_clusters  -- Sarkar edge zeroing (unc/ez.cpp)
+//   lc_clusters  -- Kim-Browne linear path peeling (unc/lc.cpp)
+//   dsc_clusters -- clusters of a full DSC run (unc/dsc.cpp), densified;
+//                   DSC's interleaved start-time assignment cannot be
+//                   replayed by a generic list phase, so only its cluster
+//                   map is reused (docs/parameterized.md).
+std::vector<ProcId> ez_clusters(const TaskGraph& g);
+std::vector<ProcId> lc_clusters(const TaskGraph& g);
+std::vector<ProcId> dsc_clusters(const TaskGraph& g);
 
 }  // namespace tgs

@@ -1,17 +1,15 @@
-#include "tgs/unc/ez.h"
-
+// The edge-zeroing cluster core of EZ (Sarkar). The EzScheduler in ez.h is
+// the parameter point bl/static/append/ez; this file holds the clustering
+// pass the ParamScheduler's ClusterStep invokes.
 #include <algorithm>
+#include <vector>
 
 #include "tgs/unc/cluster_schedule.h"
 #include "tgs/unc/clustering.h"
 
 namespace tgs {
 
-Schedule EzScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
-                             SchedWorkspace& ws) const {
-  (void)opt;
-  (void)ws;  // UNC: the number of clusters is unbounded by definition.
-
+std::vector<ProcId> ez_clusters(const TaskGraph& g) {
   struct EdgeRef {
     NodeId u, v;
     Cost cost;
@@ -47,7 +45,7 @@ Schedule EzScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
     }
   }
 
-  return schedule_with_assignment(g, dense_assignment(ds));
+  return dense_assignment(ds);
 }
 
 }  // namespace tgs

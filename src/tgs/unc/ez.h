@@ -5,20 +5,24 @@
 // clusters of its endpoints. A merge is committed iff the makespan of the
 // resulting clustering (evaluated by the deterministic cluster-schedule of
 // cluster_schedule.h) does not increase. Complexity O(e (v + e)).
+//
+// Expressed as the parameter point bl/static/append/ez of the
+// ParamScheduler core: the edge-zeroing pass (ez_clusters, unc/ez.cpp)
+// fixes the cluster map, and the b-level static list phase reproduces the
+// deterministic cluster materialization byte-for-byte
+// (tests/reference_named.h, enforced by test_param.cpp).
 #pragma once
 
-#include "tgs/sched/scheduler.h"
+#include "tgs/param/param_scheduler.h"
 
 namespace tgs {
 
-class EzScheduler final : public Scheduler {
+class EzScheduler final : public ParamScheduler {
  public:
-  std::string name() const override { return "EZ"; }
-  AlgoClass algo_class() const override { return AlgoClass::kUNC; }
-
- protected:
-  Schedule do_run(const TaskGraph& g, const SchedOptions& opt,
-                  SchedWorkspace& ws) const override;
+  EzScheduler()
+      : ParamScheduler({ParamMetric::kBL, ParamReady::kStatic,
+                        ParamInsertion::kAppend, ParamCluster::kEz},
+                       "EZ", AlgoClass::kUNC) {}
 };
 
 }  // namespace tgs

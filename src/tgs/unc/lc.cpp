@@ -1,16 +1,14 @@
-#include "tgs/unc/lc.h"
+// The path-peeling cluster core of LC (Kim & Browne). The LcScheduler in
+// lc.h is the parameter point bl/static/append/lc; this file holds the
+// clustering pass the ParamScheduler's ClusterStep invokes.
+#include <vector>
 
-#include <algorithm>
-
-#include "tgs/unc/cluster_schedule.h"
+#include "tgs/graph/task_graph.h"
 #include "tgs/unc/clustering.h"
 
 namespace tgs {
 
-Schedule LcScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
-                             SchedWorkspace& ws) const {
-  (void)opt;
-  (void)ws;
+std::vector<ProcId> lc_clusters(const TaskGraph& g) {
   const NodeId n = g.num_nodes();
   std::vector<bool> examined(n, false);
   DisjointSets ds(n);
@@ -57,7 +55,7 @@ Schedule LcScheduler::do_run(const TaskGraph& g, const SchedOptions& opt,
     }
   }
 
-  return schedule_with_assignment(g, dense_assignment(ds));
+  return dense_assignment(ds);
 }
 
 }  // namespace tgs

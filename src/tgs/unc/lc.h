@@ -7,20 +7,24 @@
 // is a chain, hence "linear". The paper notes LC "pays no attention to the
 // use of processors" -- each peeled path opens a new cluster -- which we
 // reproduce (Fig. 3(a) behaviour). Complexity O(v (v + e)).
+//
+// Expressed as the parameter point bl/static/append/lc of the
+// ParamScheduler core: the path-peeling pass (lc_clusters, unc/lc.cpp)
+// fixes the cluster map, and the b-level static list phase reproduces the
+// deterministic cluster materialization byte-for-byte
+// (tests/reference_named.h, enforced by test_param.cpp).
 #pragma once
 
-#include "tgs/sched/scheduler.h"
+#include "tgs/param/param_scheduler.h"
 
 namespace tgs {
 
-class LcScheduler final : public Scheduler {
+class LcScheduler final : public ParamScheduler {
  public:
-  std::string name() const override { return "LC"; }
-  AlgoClass algo_class() const override { return AlgoClass::kUNC; }
-
- protected:
-  Schedule do_run(const TaskGraph& g, const SchedOptions& opt,
-                  SchedWorkspace& ws) const override;
+  LcScheduler()
+      : ParamScheduler({ParamMetric::kBL, ParamReady::kStatic,
+                        ParamInsertion::kAppend, ParamCluster::kLc},
+                       "LC", AlgoClass::kUNC) {}
 };
 
 }  // namespace tgs

@@ -160,10 +160,13 @@ TEST(Attributes, CacheMatchesFreeFunctionsAndSurvivesRebinds) {
     EXPECT_EQ(cache.static_levels(), static_levels(g));
     EXPECT_EQ(cache.b_levels(), b_levels(g));
     EXPECT_EQ(cache.t_levels(), t_levels(g));
+    EXPECT_EQ(cache.comp_t_levels(), comp_t_levels(g));
     EXPECT_EQ(cache.alap_times(), alap_times(g));
     EXPECT_EQ(cache.critical_path_length(), critical_path_length(g));
-    // Second access returns the same cached data.
+    // Second access returns the same cached data (no recompute/realloc).
     EXPECT_EQ(cache.static_levels(), static_levels(g));
+    const Time* ctl = cache.comp_t_levels().data();
+    EXPECT_EQ(cache.comp_t_levels().data(), ctl);
   }
 }
 

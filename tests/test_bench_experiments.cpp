@@ -75,6 +75,9 @@ const std::vector<ExpConfig>& reduced_configs() {
       {"ablate_priority", {"--graphs=2", "--nodes=60", "--no-timing"}},
       {"ablate_topology", {"--graphs=2", "--nodes=40"}},
       {"ext_unc_cs", {"--max-v=50", "--graphs=2"}},
+      {"param_sweep",
+       {"--ccr=1.0", "--max-v=12", "--bb-nodes=500", "--metric=sl,alap",
+        "--ready=static,etf", "--insertion=append,insert"}},
   };
   return configs;
 }
@@ -103,7 +106,7 @@ TEST(Registry, CoversThePaperExperimentSet) {
        {"table1", "table2", "table3", "table4", "table5", "table6", "fig2",
         "fig3", "fig4", "micro", "ablate_bb", "ablate_ccr",
         "ablate_insertion", "ablate_priority", "ablate_topology",
-        "ext_unc_cs"}) {
+        "ext_unc_cs", "param_sweep"}) {
     const ExperimentDef* def = experiments().find(name);
     ASSERT_NE(def, nullptr) << name;
     EXPECT_EQ(def->name, name);

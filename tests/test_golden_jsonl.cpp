@@ -68,6 +68,12 @@ const std::vector<GoldenCase>& golden_cases() {
       {"runtimes", "table6.jsonl",
        {"--experiment=table6", "--max-nodes=50", "--no-timing",
         "--algo=MCP,DCP"}},
+      // One RGBOS graph x 8 parameter combinations (the CI smoke job runs
+      // this exact case against the same snapshot).
+      {"param", "param_sweep.jsonl",
+       {"--experiment=param_sweep", "--ccr=1.0", "--max-v=10",
+        "--bb-nodes=200", "--metric=sl,bl", "--ready=static,etf",
+        "--insertion=append", "--cluster=none,lc"}},
   };
   return cases;
 }

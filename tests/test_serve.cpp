@@ -498,6 +498,35 @@ TEST(Server, MalformedRequestsGetStructuredErrors) {
   EXPECT_EQ(pong.get_string("status", ""), "ok");
 }
 
+TEST(Server, UnknownAlgoMessageEnumeratesNamesAndParamGrammar) {
+  ServerFixture f;
+  const JsonValue r = f.ask(schedule_request(small_graph(), "NOPE"));
+  ASSERT_EQ(r.get_string("code", ""), "unknown_algo");
+  const std::string msg = r.get_string("message", "");
+  for (const char* name : {"HLFET", "MCP", "EZ", "DCP"})
+    EXPECT_NE(msg.find(name), std::string::npos) << msg;
+  EXPECT_NE(msg.find("param:<metric>"), std::string::npos) << msg;
+}
+
+TEST(Server, ParamSpecSchedulesLikeItsNamedPoint) {
+  ServerFixture f;
+  const TaskGraph g = small_graph();
+  // param:sl/static/append is the HLFET point; same bytes, and cached
+  // under its canonical 4-segment name.
+  const JsonValue r = f.ask(
+      schedule_request(g, "param:sl/static/append", "", -1,
+                       /*want_schedule=*/true));
+  ASSERT_EQ(r.get_string("status", ""), "ok");
+  const Schedule direct = make_scheduler("HLFET")->run(g, SchedOptions{});
+  EXPECT_EQ(static_cast<Time>(r.get_number("makespan", -1)),
+            direct.makespan());
+  EXPECT_EQ(r.get_string("schedule", ""), schedule_to_string(direct));
+  const JsonValue again = f.ask(
+      schedule_request(g, "param:sl/static/append", "", -1,
+                       /*want_schedule=*/true));
+  EXPECT_TRUE(again.get_bool("cached", false));
+}
+
 TEST(Server, ZeroCapacityQueueRejectsWithBackpressureStatus) {
   ServeOptions opt;
   opt.queue_capacity = 0;  // every computed request must be rejected

@@ -13,6 +13,16 @@ Usage:
         Exit status 1 when the files differ, 0 when identical -- usable as
         a CI gate against a golden run.
 
+    bench_summary.py --ranks FILE.jsonl [--value-field value] [--top N]
+        Per-algorithm ranking table. Rows are grouped by sweep coordinate
+        (all identity fields except column); inside each group the columns
+        (algorithms / param combinations) get competition ranks by
+        ascending value (1 = best, ties share a rank), and the table
+        reports each column's mean rank, mean value and win count across
+        all coordinates. This reproduces the param_sweep stdout ranking
+        from its JSONL stream, and works on any experiment whose value is
+        lower-is-better (%-degradation, NSL, seconds).
+
 Stdlib only; rows that fail to parse are counted and reported, not fatal.
 """
 import argparse
@@ -127,18 +137,75 @@ def diff(old_path, new_path):
     return 0
 
 
+def ranks(path, value_field, top, exclude=("optimal", "L_opt")):
+    rows, bad = load_rows(path)
+    if bad:
+        print(f"warning: {path}: {len(bad)} unparseable lines skipped",
+              file=sys.stderr)
+    # coordinate = identity fields minus the column being ranked.
+    groups = {}
+    for r in rows:
+        if r.get("column") in exclude or "column" not in r:
+            continue
+        if not is_numeric(r.get(value_field)):
+            continue
+        coord = tuple((k, r[k]) for k in ID_FIELDS
+                      if k != "column" and k in r)
+        groups.setdefault(coord, []).append((r["column"], r[value_field]))
+
+    rank_sum, val_sum, wins, count = {}, {}, {}, {}
+    for coord, cells in groups.items():
+        values = [v for _, v in cells]
+        best = min(values)
+        for column, v in cells:
+            rank = 1 + sum(1 for w in values if w < v)
+            rank_sum[column] = rank_sum.get(column, 0) + rank
+            val_sum[column] = val_sum.get(column, 0.0) + v
+            count[column] = count.get(column, 0) + 1
+            if v == best:
+                wins[column] = wins.get(column, 0) + 1
+
+    if not count:
+        print(f"{path}: no rankable rows (value field '{value_field}')")
+        return 1
+    order = sorted(count, key=lambda c: (rank_sum[c] / count[c], c))
+    n_groups = len(groups)
+    print(f"== {path}: {len(order)} columns ranked over {n_groups} "
+          f"coordinates by '{value_field}' (lower is better)")
+    width = max(len(c) for c in order[:top]) if order else 10
+    print(f"{'#':>4} {'column':<{width}} {'mean rank':>10} "
+          f"{'mean ' + value_field:>14} {'wins':>6}")
+    for i, column in enumerate(order[:top], 1):
+        print(f"{i:>4} {column:<{width}}"
+              f" {rank_sum[column] / count[column]:>10.2f}"
+              f" {val_sum[column] / count[column]:>14.4g}"
+              f" {wins.get(column, 0):>6}")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("files", nargs="+", metavar="FILE.jsonl")
     ap.add_argument("--diff", action="store_true",
                     help="compare exactly two files row-by-row")
+    ap.add_argument("--ranks", action="store_true",
+                    help="per-column mean-rank table of one file")
+    ap.add_argument("--value-field", default="value",
+                    help="field to rank by (default: value)")
+    ap.add_argument("--top", type=int, default=25,
+                    help="ranking rows to print (default: 25)")
     args = ap.parse_args()
 
     if args.diff:
         if len(args.files) != 2:
             ap.error("--diff needs exactly two files")
         return diff(args.files[0], args.files[1])
+
+    if args.ranks:
+        if len(args.files) != 1:
+            ap.error("--ranks needs exactly one file")
+        return ranks(args.files[0], args.value_field, args.top)
 
     had_bad = False
     for path in args.files:
