@@ -32,6 +32,7 @@ const ExperimentRegistry& experiments() {
     register_ablation_experiments(r);
     register_runtime_experiments(r);
     register_param_experiments(r);
+    register_giant_experiments(r);
     return r;
   }();
   return registry;

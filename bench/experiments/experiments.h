@@ -72,7 +72,8 @@ class ExperimentRegistry {
 };
 
 /// The process-wide registry, populated on first use in a fixed family
-/// order (psg, rgbos, rgpos, rgnos, traced, ablations, runtimes, param).
+/// order (psg, rgbos, rgpos, rgnos, traced, ablations, runtimes, param,
+/// giant).
 const ExperimentRegistry& experiments();
 
 /// Full driver loop: resolve --experiment/positional names, build the
@@ -160,5 +161,6 @@ void register_traced_experiments(ExperimentRegistry& r);
 void register_ablation_experiments(ExperimentRegistry& r);
 void register_runtime_experiments(ExperimentRegistry& r);
 void register_param_experiments(ExperimentRegistry& r);
+void register_giant_experiments(ExperimentRegistry& r);
 
 }  // namespace tgs::bench

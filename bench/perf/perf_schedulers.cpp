@@ -21,15 +21,19 @@
 #include "tgs/apn/mh.h"
 #include "tgs/bnp/dls.h"
 #include "tgs/bnp/etf.h"
+#include "tgs/bnp/hlfet.h"
+#include "tgs/bnp/ish.h"
 #include "tgs/bnp/mcp.h"
 #include "tgs/gen/rgnos.h"
 #include "tgs/gen/structured.h"
+#include "tgs/gen/traced.h"
 #include "tgs/graph/attributes.h"
 #include "tgs/list/ready_list.h"
 #include "tgs/net/routing.h"
 #include "tgs/net/topology.h"
 #include "tgs/sched/timeline.h"
 #include "tgs/sched/workspace.h"
+#include "tgs/util/mem.h"
 
 namespace tgs {
 namespace {
@@ -151,6 +155,51 @@ void BM_Bsa_FullRebuild(benchmark::State& state) {
         reference::full_rebuild_bsa(g, routes).makespan());
 }
 BENCHMARK(BM_Bsa_FullRebuild)->Arg(100)->Arg(300)->Arg(500);
+
+// ------------------------------------------------------------ giant tier --
+
+// Traced Cholesky at giant dims: Arg is the matrix dimension, v =
+// dim(dim+1)/2, so 141 -> ~10k nodes and 446 -> ~100k (the tier's
+// acceptance size). Deterministic (seed-free) workload, 64 procs, warm
+// workspace with pre-warmed shared attributes -- the same protocol as the
+// giant_sweep experiment, so its numbers and these cross-check. Each
+// benchmark also reports per-iteration heap traffic (util/mem.h): the
+// memory metric regresses loudly here even when wall time hides it behind
+// runner noise.
+template <typename Sched>
+void giant_bench(benchmark::State& state) {
+  const TaskGraph g =
+      cholesky_graph(static_cast<int>(state.range(0)), 1.0);
+  SchedWorkspace ws;
+  ws.begin_graph(g);
+  ws.attrs().static_levels();
+  ws.attrs().alap_times();
+  SchedOptions opt;
+  opt.num_procs = 64;
+  AllocMeter meter;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(Sched().run(g, opt, ws).makespan());
+  state.counters["v"] = static_cast<double>(g.num_nodes());
+  state.counters["allocs"] = benchmark::Counter(
+      static_cast<double>(meter.count()), benchmark::Counter::kAvgIterations);
+  state.counters["alloc_kb"] = benchmark::Counter(
+      static_cast<double>(meter.bytes()) / 1024.0,
+      benchmark::Counter::kAvgIterations);
+}
+
+void BM_Giant_Mcp(benchmark::State& state) { giant_bench<McpScheduler>(state); }
+BENCHMARK(BM_Giant_Mcp)->Arg(141)->Arg(446)->Unit(benchmark::kMillisecond);
+
+void BM_Giant_Hlfet(benchmark::State& state) {
+  giant_bench<HlfetScheduler>(state);
+}
+BENCHMARK(BM_Giant_Hlfet)->Arg(141)->Arg(446)->Unit(benchmark::kMillisecond);
+
+void BM_Giant_Ish(benchmark::State& state) { giant_bench<IshScheduler>(state); }
+BENCHMARK(BM_Giant_Ish)->Arg(141)->Arg(446)->Unit(benchmark::kMillisecond);
+
+void BM_Giant_Etf(benchmark::State& state) { giant_bench<EtfScheduler>(state); }
+BENCHMARK(BM_Giant_Etf)->Arg(141)->Arg(446)->Unit(benchmark::kMillisecond);
 
 // ------------------------------------------------------------ net layer --
 

@@ -101,17 +101,38 @@ struct PairScratch {
   std::vector<NodeId> tracked;            // nodes currently ready
   std::vector<Time> seg;                  // proc end-time segment tree
 
+  // Giant-tier bookkeeping (all maintained by IncrementalPairSelector):
+  // tracked membership is position-indexed so untracking is O(1) instead
+  // of an O(ready) scan, and tracked nodes are additionally bucketed by
+  // their cached best processor so a placement on p rescores only
+  // bucket[p] -- the exact stale set -- instead of every tracked node.
+  std::vector<std::uint32_t> tracked_pos;  // node -> index in tracked
+  std::vector<std::uint32_t> bucket_pos;   // node -> index in its bucket
+  std::vector<std::vector<NodeId>> bucket; // proc -> nodes with best.proc==p
+  std::vector<NodeId> bucket_snap;         // node_placed iteration snapshot
+
   /// Size the pools for a graph with `num_nodes` nodes (grow-only).
   void bind(std::size_t num_nodes) {
     if (stamp.size() < num_nodes) {
       stamp.resize(num_nodes, 0);
       arrival.resize(num_nodes);
       best.resize(num_nodes);
+      tracked_pos.resize(num_nodes, 0);
+      bucket_pos.resize(num_nodes, 0);
     }
   }
 
-  /// Start a run: forget every tracked node in O(1).
-  void begin_run() { tracked.clear(); }
+  /// Size the per-processor buckets (grow-only).
+  void bind_procs(std::size_t num_procs) {
+    if (bucket.size() < num_procs) bucket.resize(num_procs);
+  }
+
+  /// Start a run: forget every tracked node. O(buckets) pointer resets,
+  /// no deallocation (bucket capacity survives across runs).
+  void begin_run() {
+    tracked.clear();
+    for (std::vector<NodeId>& b : bucket) b.clear();
+  }
 };
 
 /// Min segment tree over per-processor timeline end times. Non-insertion
@@ -216,6 +237,7 @@ class IncrementalPairSelector {
         insertion_(insertion),
         scanned_(scanner.scan_count()) {
     scratch.bind(s.graph().num_nodes());
+    scratch.bind_procs(static_cast<std::size_t>(scanner.limit()));
     scratch.begin_run();
     if (!insertion_) {
       index_.init(scanner.limit(), scratch.seg);
@@ -230,33 +252,43 @@ class IncrementalPairSelector {
   /// tracked list; this selector does not use PairScratch::stamp.
   void node_ready(NodeId n) {
     compute_arrival_into(*sched_, n, scratch_->arrival[n]);
+    scratch_->tracked_pos[n] =
+        static_cast<std::uint32_t>(scratch_->tracked.size());
     scratch_->tracked.push_back(n);
-    rescore(n, scanned_);
+    rescore(n, scanned_, /*fresh=*/true);
   }
 
   /// Report that `n` (previously ready) was placed on `p`. Call after
   /// Schedule::place and ProcScanner::note_placement; re-scores exactly
-  /// the cached pairs the placement could have invalidated.
+  /// the cached pairs the placement could have invalidated. In the common
+  /// case (no new processor opened) that is bucket[p] -- the nodes whose
+  /// cached best sits on p -- so a placement costs O(|bucket[p]|) rescore
+  /// work, not an O(ready) scan (the measured giant-tier bottleneck: FFT
+  /// graphs keep thousands of nodes ready at once).
   void node_placed(NodeId n, ProcId p) {
-    std::vector<NodeId>& tracked = scratch_->tracked;
-    for (std::size_t i = 0; i < tracked.size(); ++i) {
-      if (tracked[i] == n) {
-        tracked[i] = tracked.back();
-        tracked.pop_back();
-        break;
-      }
+    PairScratch& sc = *scratch_;
+    {
+      const std::uint32_t i = sc.tracked_pos[n];
+      sc.tracked[i] = sc.tracked.back();
+      sc.tracked_pos[sc.tracked[i]] = i;
+      sc.tracked.pop_back();
+      bucket_remove(n);  // n's cached best.proc, which may differ from p
     }
     if (!insertion_) index_.set(p, sched_->timeline(p).end_time());
     const int count = scanner_->scan_count();
-    for (NodeId m : tracked) {
-      ProcChoice& pc = scratch_->best[m];
-      if (pc.proc == p) {
-        rescore(m, count);
-      } else if (count > scanned_) {
-        // Newly opened processors are empty, so in append mode node m
-        // could start there at its arrival max1; their ids exceed every
-        // cached id, so only a strict improvement can move the best.
-        const ArrivalInfo& arr = scratch_->arrival[m];
+    if (count > scanned_) {
+      // Rare (at most `limit` times per run): a fresh processor opened, so
+      // every cached pair must see it. Newly opened processors are empty,
+      // so in append mode node m could start there at its arrival max1;
+      // their ids exceed every cached id, so only a strict improvement can
+      // move the best.
+      for (NodeId m : sc.tracked) {
+        if (sc.best[m].proc == p) {
+          rescore(m, count, /*fresh=*/false);
+          continue;
+        }
+        const ArrivalInfo& arr = sc.arrival[m];
+        ProcChoice pc = sc.best[m];
         if (insertion_) {
           const Cost dur = sched_->graph().weight(m);
           for (ProcId q = static_cast<ProcId>(scanned_); q < count; ++q) {
@@ -267,7 +299,13 @@ class IncrementalPairSelector {
         } else if (arr.max1 < pc.start) {
           pc = {static_cast<ProcId>(scanned_), arr.max1};
         }
+        if (pc.proc != sc.best[m].proc || pc.start != sc.best[m].start)
+          set_best(m, pc);
       }
+    } else {
+      // Snapshot: rescoring moves nodes between buckets mid-iteration.
+      sc.bucket_snap.assign(sc.bucket[p].begin(), sc.bucket[p].end());
+      for (NodeId m : sc.bucket_snap) rescore(m, count, /*fresh=*/false);
     }
     scanned_ = count;
   }
@@ -280,7 +318,41 @@ class IncrementalPairSelector {
   const ArrivalInfo& arrival(NodeId n) const { return scratch_->arrival[n]; }
 
  private:
-  void rescore(NodeId m, int count) {
+  void bucket_insert(NodeId m) {
+    std::vector<NodeId>& b = scratch_->bucket[scratch_->best[m].proc];
+    scratch_->bucket_pos[m] = static_cast<std::uint32_t>(b.size());
+    b.push_back(m);
+  }
+
+  void bucket_remove(NodeId m) {
+    std::vector<NodeId>& b = scratch_->bucket[scratch_->best[m].proc];
+    const std::uint32_t i = scratch_->bucket_pos[m];
+    b[i] = b.back();
+    scratch_->bucket_pos[b[i]] = i;
+    b.pop_back();
+  }
+
+  /// Every best[] write funnels through here: bucket membership follows
+  /// the cached processor. An unchanged recompute never reaches this
+  /// function.
+  void set_best(NodeId m, const ProcChoice& pc) {
+    bucket_remove(m);
+    scratch_->best[m] = pc;
+    bucket_insert(m);
+  }
+
+  void rescore(NodeId m, int count, bool fresh) {
+    const ProcChoice pc = score(m, count);
+    if (fresh) {
+      scratch_->best[m] = pc;
+      bucket_insert(m);
+    } else if (pc.proc != scratch_->best[m].proc ||
+               pc.start != scratch_->best[m].start) {
+      set_best(m, pc);
+    }
+  }
+
+  ProcChoice score(NodeId m, int count) const {
     const ArrivalInfo& arr = scratch_->arrival[m];
     if (!insertion_) {
       // Candidate 1: proc1, the only processor whose data-ready time can
@@ -303,8 +375,7 @@ class IncrementalPairSelector {
       if (pc.proc == kNoProc || gen.start < pc.start ||
           (gen.start == pc.start && gen.proc < pc.proc))
         pc = gen;
-      scratch_->best[m] = pc;
-      return;
+      return pc;
     }
     const Cost dur = sched_->graph().weight(m);
     ProcChoice pc{0, kTimeInf};
@@ -313,7 +384,7 @@ class IncrementalPairSelector {
           sched_->earliest_start_on(q, arr.ready_on(q), dur, insertion_);
       if (t < pc.start) pc = {q, t};
     }
-    scratch_->best[m] = pc;
+    return pc;
   }
 
   const Schedule* sched_;

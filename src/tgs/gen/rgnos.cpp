@@ -34,8 +34,17 @@ TaskGraph rgnos_graph(const RgnosParams& params) {
     }
   }
 
+  // Extra-edge fan-out mean: the paper's v/10 (quadratic in total), or the
+  // capped scale-path mean when max_fanout is set.
+  Cost fan_mean = std::max<Cost>(
+      1, static_cast<Cost>(std::llround(v / params.fanout_divisor)));
+  if (params.max_fanout > 0) fan_mean = std::min(fan_mean, params.max_fanout);
+
   TaskGraphBuilder b("rgnos_v" + std::to_string(v) + "_p" +
                      std::to_string(params.parallelism));
+  b.reserve(v, static_cast<std::size_t>(v) +
+                   static_cast<std::size_t>(v) *
+                       static_cast<std::size_t>(fan_mean));
   for (NodeId i = 0; i < v; ++i)
     b.add_node(draw_comp_cost(rng, params.mean_weight));
 
@@ -58,9 +67,7 @@ TaskGraph rgnos_graph(const RgnosParams& params) {
     }
   }
 
-  // Extra forward edges to reach the target fan-out mean of v/10 per node.
-  const Cost fan_mean = std::max<Cost>(
-      1, static_cast<Cost>(std::llround(v / params.fanout_divisor)));
+  // Extra forward edges to reach the target fan-out mean per node.
   for (NodeId u = 0; u < v; ++u) {
     const std::size_t l = layer_of[u];
     if (l + 1 >= layers.size()) continue;

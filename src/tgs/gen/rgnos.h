@@ -26,6 +26,12 @@ struct RgnosParams {
   Cost mean_weight = 40;
   double fanout_divisor = 10;
   std::uint64_t seed = 1;
+  /// Giant-tier scale path: when > 0, caps the mean extra fan-out per node
+  /// at this value, so edge count is O(v * max_fanout) instead of the
+  /// paper's O(v^2 / fanout_divisor) (mean v/10 per node is quadratic and
+  /// intractable at v = 100k). 0 = the paper's original density; every
+  /// existing graph is byte-identical in that mode.
+  Cost max_fanout = 0;
 };
 
 TaskGraph rgnos_graph(const RgnosParams& params);

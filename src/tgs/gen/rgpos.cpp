@@ -52,6 +52,15 @@ RgposGraph rgpos_graph(const RgposParams& params) {
   // node ids group by processor (harmless; edges are what matter).
   TaskGraphBuilder builder("rgpos_v" + std::to_string(v) + "_p" +
                            std::to_string(p));
+  builder.reserve(
+      v, static_cast<std::size_t>(v) +
+             (params.edges_per_node > 0
+                  ? static_cast<std::size_t>(static_cast<double>(v) *
+                                             params.edges_per_node)
+                  : static_cast<std::size_t>(
+                        static_cast<double>(v) *
+                        (static_cast<double>(v) / params.fanout_divisor) /
+                        2.0)));
   std::vector<ProcId> proc_of;
   std::vector<Time> start_of, finish_of;
   for (int i = 0; i < p; ++i) {
@@ -105,9 +114,14 @@ RgposGraph rgpos_graph(const RgposParams& params) {
   std::vector<Time> sorted_starts(n);
   for (NodeId i = 0; i < n; ++i) sorted_starts[i] = start_of[by_start[i]];
 
-  const std::size_t edge_target = static_cast<std::size_t>(
-      static_cast<double>(v) * (static_cast<double>(v) / params.fanout_divisor) /
-      2.0);
+  const std::size_t edge_target =
+      params.edges_per_node > 0
+          ? static_cast<std::size_t>(static_cast<double>(v) *
+                                     params.edges_per_node)
+          : static_cast<std::size_t>(static_cast<double>(v) *
+                                     (static_cast<double>(v) /
+                                      params.fanout_divisor) /
+                                     2.0);
   const Cost comm_mean = comm_mean_chain;
 
   std::size_t attempts = 0;

@@ -35,6 +35,11 @@ struct RgposParams {
   Cost mean_weight = 40;      // mean task segment length
   double fanout_divisor = 10; // edge budget ~ v^2 / (2 * divisor)
   std::uint64_t seed = 1;
+  /// Giant-tier scale path: when > 0, the edge budget becomes
+  /// v * edges_per_node instead of the paper's quadratic
+  /// v^2 / (2 * fanout_divisor). 0 = the paper's original budget; every
+  /// existing graph is byte-identical in that mode.
+  double edges_per_node = 0;
   /// When true, time-consecutive tasks on each planted processor are
   /// chained with extra same-processor edges. The DAG then has a chain
   /// cover of size p, so (Dilworth) its width is <= p and L_opt = W/p is a

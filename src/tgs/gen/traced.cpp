@@ -17,6 +17,10 @@ Cost comm(double scale, long long volume) {
 TaskGraph cholesky_graph(int n, double comm_scale) {
   if (n < 1) throw std::invalid_argument("cholesky: n >= 1");
   TaskGraphBuilder b("cholesky" + std::to_string(n));
+  // v = n(n+1)/2, e = n(n-1): known up front, so the 100k-node tier builds
+  // with a constant number of allocations.
+  b.reserve(static_cast<std::size_t>(n) * (n + 1) / 2,
+            static_cast<std::size_t>(n) * (n > 0 ? n - 1 : 0));
 
   // ids: cdiv[k] for k = 1..n ; cmod[j][k] for 1 <= k < j <= n.
   std::vector<NodeId> cdiv(n + 1);
@@ -47,6 +51,8 @@ TaskGraph cholesky_graph(int n, double comm_scale) {
 TaskGraph gaussian_elimination_graph(int n, double comm_scale) {
   if (n < 1) throw std::invalid_argument("gauss: n >= 1");
   TaskGraphBuilder b("gauss" + std::to_string(n));
+  b.reserve(static_cast<std::size_t>(n - 1) + static_cast<std::size_t>(n) * (n > 0 ? n - 1 : 0) / 2,
+            static_cast<std::size_t>(n) * n);
   std::vector<NodeId> piv(n + 1);
   std::vector<std::vector<NodeId>> upd(n + 1, std::vector<NodeId>(n + 1, 0));
   for (int k = 1; k < n; ++k) {
@@ -72,6 +78,8 @@ TaskGraph fft_graph(int n, double comm_scale) {
     throw std::invalid_argument("fft: n must be a power of two >= 2");
   const int ranks = static_cast<int>(std::lround(std::log2(n)));
   TaskGraphBuilder b("fft" + std::to_string(n));
+  b.reserve(static_cast<std::size_t>(ranks) * (n / 2),
+            static_cast<std::size_t>(ranks) * n);
 
   // One butterfly task per (rank, pair); rank r pairs indices differing in
   // bit r of the element index.
@@ -110,6 +118,8 @@ TaskGraph laplace_graph(int side, int iters, double comm_scale) {
   if (side < 1 || iters < 1) throw std::invalid_argument("laplace: bad dims");
   TaskGraphBuilder b("laplace" + std::to_string(side) + "x" +
                      std::to_string(iters));
+  b.reserve(static_cast<std::size_t>(iters) * side * side,
+            static_cast<std::size_t>(iters) * side * side * 5);
   auto id = [&](int t, int i, int j) {
     return static_cast<NodeId>((static_cast<long long>(t) * side + i) * side + j);
   };

@@ -1,6 +1,10 @@
 #include "tgs/graph/graph_io.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -25,43 +29,106 @@ std::string graph_to_string(const TaskGraph& g) {
   return os.str();
 }
 
+namespace {
+
+// strtoll-based field scanner over one line. istringstream-per-line costs a
+// heap-backed stream object and locale-aware extraction per record, which at
+// giant-tier sizes (100k nodes / 200k+ edges) dominates read_graph; this
+// cursor touches each byte once.
+struct LineScanner {
+  const char* p;
+  const std::string& line;
+
+  explicit LineScanner(const std::string& l) : p(l.c_str()), line(l) {}
+
+  void skip_ws() {
+    while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return *p == '\0';
+  }
+
+  /// Next whitespace-delimited token, empty when the line is exhausted.
+  std::string token() {
+    skip_ws();
+    const char* start = p;
+    while (*p != '\0' && *p != ' ' && *p != '\t' && *p != '\r') ++p;
+    return std::string(start, p);
+  }
+
+  /// Next signed 64-bit integer; throws with `what` context on malformed or
+  /// out-of-range fields (ERANGE from strtoll, not a silent wrap).
+  std::int64_t int64(const char* what) {
+    skip_ws();
+    errno = 0;
+    char* end = nullptr;
+    const long long x = std::strtoll(p, &end, 10);
+    if (end == p || errno == ERANGE)
+      throw std::invalid_argument(std::string("bad ") + what +
+                                  " line: " + line);
+    p = end;
+    return x;
+  }
+
+  /// int64 narrowed to NodeId with an explicit range check: a node id that
+  /// does not fit NodeId is a corrupt/hostile stream, never a wraparound.
+  NodeId node_id(const char* what) {
+    const std::int64_t x = int64(what);
+    if (x < 0 || x > static_cast<std::int64_t>(kNoNode - 1))
+      throw std::invalid_argument(std::string("bad ") + what +
+                                  " line (id out of range): " + line);
+    return static_cast<NodeId>(x);
+  }
+};
+
+}  // namespace
+
 TaskGraph read_graph(std::istream& is) {
   std::string line;
   std::string magic, name;
   NodeId n = 0;
   std::size_t m = 0;
-  // Header (skipping comments/blank lines).
+  // Header (skipping comments/blank lines). Counts are parsed as 64-bit and
+  // validated before narrowing so a giant (or corrupt) header fails loudly.
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream hs(line);
-    if (!(hs >> magic >> name >> n >> m) || magic != "tgs1")
-      throw std::invalid_argument("bad tgs1 header: " + line);
+    LineScanner hs(line);
+    magic = hs.token();
+    if (magic != "tgs1") throw std::invalid_argument("bad tgs1 header: " + line);
+    name = hs.token();
+    if (name.empty()) throw std::invalid_argument("bad tgs1 header: " + line);
+    const std::int64_t n64 = hs.int64("tgs1 header");
+    const std::int64_t m64 = hs.int64("tgs1 header");
+    if (n64 < 0 || n64 > static_cast<std::int64_t>(kNoNode - 1) || m64 < 0)
+      throw std::invalid_argument("bad tgs1 header (counts): " + line);
+    n = static_cast<NodeId>(n64);
+    m = static_cast<std::size_t>(m64);
     break;
   }
   if (magic != "tgs1") throw std::invalid_argument("missing tgs1 header");
 
   TaskGraphBuilder b(name);
+  b.reserve(n, m);
   NodeId nodes_seen = 0;
   std::size_t edges_seen = 0;
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string kind;
-    ls >> kind;
+    LineScanner ls(line);
+    const std::string kind = ls.token();
     if (kind == "node") {
-      NodeId id;
-      Cost w;
-      std::string label;
-      if (!(ls >> id >> w)) throw std::invalid_argument("bad node line: " + line);
-      ls >> label;  // optional
+      const NodeId id = ls.node_id("node");
+      const Cost w = ls.int64("node");
+      const std::string label = ls.token();  // optional
       if (id != nodes_seen)
         throw std::invalid_argument("node ids must be dense and in order");
       b.add_node(w, label);
       ++nodes_seen;
     } else if (kind == "edge") {
-      NodeId u, v;
-      Cost c;
-      if (!(ls >> u >> v >> c)) throw std::invalid_argument("bad edge line: " + line);
+      const NodeId u = ls.node_id("edge");
+      const NodeId v = ls.node_id("edge");
+      const Cost c = ls.int64("edge");
       b.add_edge(u, v, c);
       ++edges_seen;
     } else {

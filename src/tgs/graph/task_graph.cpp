@@ -33,6 +33,12 @@ double TaskGraph::ccr() const {
 
 TaskGraphBuilder::TaskGraphBuilder(std::string name) : name_(std::move(name)) {}
 
+void TaskGraphBuilder::reserve(std::size_t nodes, std::size_t edges) {
+  weights_.reserve(nodes);
+  labels_.reserve(nodes);
+  edges_.reserve(edges);
+}
+
 NodeId TaskGraphBuilder::add_node(Cost weight, std::string label) {
   if (weight <= 0) throw std::invalid_argument("node weight must be positive");
   const NodeId id = static_cast<NodeId>(weights_.size());

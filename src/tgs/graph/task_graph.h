@@ -110,6 +110,12 @@ class TaskGraphBuilder {
  public:
   explicit TaskGraphBuilder(std::string name = "graph");
 
+  /// Pre-sizes internal arrays for a graph of known shape. Generators that
+  /// know v and e up front (traced kernels, scale-mode random graphs) call
+  /// this once so the 100k-node path does a handful of allocations instead
+  /// of O(log V) geometric regrowths copying multi-MB edge arrays.
+  void reserve(std::size_t nodes, std::size_t edges);
+
   /// Adds a task; `label` is optional (empty = auto "n<i+1>").
   NodeId add_node(Cost weight, std::string label = {});
 

@@ -23,7 +23,9 @@ ReadyList::ReadyList(const TaskGraph& g)
 void ReadyList::mark_scheduled(NodeId n) {
   if (!ready_flag_[n]) throw std::logic_error("node not ready");
   ready_flag_[n] = false;
-  ready_.erase(std::find(ready_.begin(), ready_.end(), n));
+  // ready_ is sorted by id: binary search, not the O(width) linear find
+  // (FFT-class graphs keep thousands of nodes ready at once).
+  ready_.erase(std::lower_bound(ready_.begin(), ready_.end(), n));
   --remaining_;
   for (const Adj& c : graph_->children(n)) {
     if (--unscheduled_parents_[c.node] == 0) {

@@ -14,6 +14,17 @@ namespace tgs {
 
 namespace {
 
+// Lazy min-heap comparator (std::push_heap keeps the comparator-largest
+// element at the front, so a "greater" ordering gives a min-heap). The key
+// chain ends in rank, a per-node-unique permutation, so heap pops
+// reproduce the linear argmin scan they replace bit-for-bit.
+struct ListPickCmp {
+  bool operator()(const ParamScratch::ListPick& a,
+                  const ParamScratch::ListPick& b) const {
+    if (a.primary != b.primary) return a.primary > b.primary;
+    return a.rank > b.rank;
+  }
+};
 // One run of the list phase. Holds the shared state so the ready policies
 // and the hole-filling pass read like the original standalone algorithms
 // they generalize (bnp/hlfet.cpp, bnp/ish.cpp, bnp/etf.cpp, ... at PR 7).
@@ -54,28 +65,35 @@ class ListPhase {
 
  private:
   // kStatic picks the highest-priority ready node (= smallest rank; rank
-  // encodes the smallest-id tie-break). kDynamic re-sorts by the frozen
+  // encodes the smallest-id tie-break). kDynamic orders by the frozen
   // arrival time -- the earliest moment the node's data is available
-  // anywhere -- with the metric rank as tie-break.
-  NodeId pick_list(bool dynamic) const {
-    const std::vector<NodeId>& r = ready_.ready();
-    NodeId best = r[0];
-    for (NodeId m : r) {
-      if (dynamic) {
-        if (ps_.arrival[m] < ps_.arrival[best] ||
-            (ps_.arrival[m] == ps_.arrival[best] &&
-             ps_.rank[m] < ps_.rank[best]))
-          best = m;
-      } else if (ps_.rank[m] < ps_.rank[best]) {
-        best = m;
-      }
+  // anywhere -- with the metric rank as tie-break. Both keys freeze at
+  // admission, so the pick is a lazy min-heap pop: each node carries one
+  // entry, and entries whose node left the ready set another way (the
+  // hole-filling pass) are discarded on pop. This replaces the O(ready)
+  // per-step scan that dominated giant FFT-class graphs (ready width in
+  // the thousands).
+  void push_list(NodeId n, bool dynamic) {
+    ps_.list_heap.push_back({dynamic ? ps_.arrival[n] : 0, ps_.rank[n], n});
+    std::push_heap(ps_.list_heap.begin(), ps_.list_heap.end(), ListPickCmp{});
+  }
+
+  NodeId pick_list() {
+    std::vector<ParamScratch::ListPick>& h = ps_.list_heap;
+    while (true) {
+      std::pop_heap(h.begin(), h.end(), ListPickCmp{});
+      const NodeId n = h.back().node;
+      h.pop_back();
+      if (ready_.is_ready(n)) return n;
     }
-    return best;
   }
 
   void run_list(bool dynamic) {
+    list_heap_live_ = true;
+    ps_.list_heap.clear();
+    for (NodeId n : ready_.ready()) push_list(n, dynamic);
     while (!ready_.empty()) {
-      const NodeId n = pick_list(dynamic);
+      const NodeId n = pick_list();
       ProcId p;
       Time start;
       if (clustered_) {
@@ -90,6 +108,14 @@ class ListPhase {
     }
   }
 
+  // ETF minimizes (EST, rank); DLS maximizes dl = key - EST with ties on
+  // earlier start then smaller id. The argmin stays a linear scan over the
+  // ready set on purpose: a lazy heap over the cached pairs was tried and
+  // measured SLOWER at giant scale (docs/perf.md, PR 9) -- wide symmetric
+  // graphs funnel thousands of cached bests onto one processor, so each
+  // placement re-keys O(ready) entries and the heap turns one O(ready)
+  // scan into O(ready log ready) churn. The selector's bucket rescoring
+  // already bounds the real per-placement work.
   void run_pair_selector() {
     IncrementalPairSelector sel(sched_, scanner_, fit_, ws_.pair_scratch());
     for (NodeId n : ready_.ready()) sel.node_ready(n);
@@ -175,16 +201,19 @@ class ListPhase {
   /// state: the pair selector's tracked set, or the frozen arrival times
   /// of the dynamic list policy.
   void admit_children(NodeId n, IncrementalPairSelector* sel, bool dynamic) {
-    if (sel == nullptr && !dynamic) return;
+    if (sel == nullptr && !dynamic && !list_heap_live_) return;
     for (const Adj& c : g_.children(n)) {
       if (!ready_.is_ready(c.node)) continue;
       if (sel != nullptr) {
         sel->node_ready(c.node);
       } else {
-        Time arr = 0;
-        for (const Adj& par : g_.parents(c.node))
-          arr = std::max(arr, sched_.finish(par.node) + par.cost);
-        ps_.arrival[c.node] = arr;
+        if (dynamic) {
+          Time arr = 0;
+          for (const Adj& par : g_.parents(c.node))
+            arr = std::max(arr, sched_.finish(par.node) + par.cost);
+          ps_.arrival[c.node] = arr;
+        }
+        push_list(c.node, dynamic);
       }
     }
   }
@@ -233,6 +262,7 @@ class ListPhase {
   const bool clustered_;
   const bool fit_;
   const bool hole_;
+  bool list_heap_live_ = false;  // run_list admissions feed ps_.list_heap
   Schedule sched_;
   ProcScanner scanner_;
   ReadyList ready_;
@@ -296,16 +326,48 @@ void compute_param_metric(ParamMetric metric, GraphAttributeCache& attrs,
   ps.order.resize(v);
   std::iota(ps.order.begin(), ps.order.end(), NodeId{0});
   if (metric == ParamMetric::kAlapList) {
-    // MCP's lexicographic priority: [alap(n), sorted alaps of children].
+    // MCP's lexicographic priority: [alap(n), sorted alaps of children],
+    // stored rank-compressed. Dense ALAP ranks compare exactly like the
+    // Time values they stand for (x < y iff rank(x) < rank(y)), so one
+    // flat uint32 arena of size v + e replaces the per-node
+    // vector<vector<Time>> -- v heap allocations and 16 bytes per element
+    // -- that profiled as the giant-tier setup bottleneck.
     const std::vector<Time>& alap = attrs.alap_times();
-    std::vector<std::vector<Time>> prio(v);
-    for (NodeId n = 0; n < v; ++n) {
-      prio[n].push_back(alap[n]);
-      for (const Adj& c : g.children(n)) prio[n].push_back(alap[c.node]);
-      std::sort(prio[n].begin() + 1, prio[n].end());
+    std::vector<NodeId>& by = ps.alap_sorted;
+    by.resize(v);
+    std::iota(by.begin(), by.end(), NodeId{0});
+    std::sort(by.begin(), by.end(),
+              [&](NodeId a, NodeId b) { return alap[a] < alap[b]; });
+    ps.alap_rank.resize(v);
+    std::uint32_t r = 0;
+    for (NodeId i = 0; i < v; ++i) {
+      if (i > 0 && alap[by[i]] != alap[by[i - 1]]) ++r;
+      ps.alap_rank[by[i]] = r;
     }
+    ps.alap_off.resize(static_cast<std::size_t>(v) + 1);
+    ps.alap_off[0] = 0;
+    for (NodeId n = 0; n < v; ++n)
+      ps.alap_off[n + 1] = ps.alap_off[n] + 1 + g.num_children(n);
+    ps.alap_arena.resize(ps.alap_off[v]);
+    for (NodeId n = 0; n < v; ++n) {
+      std::size_t pos = ps.alap_off[n];
+      ps.alap_arena[pos++] = ps.alap_rank[n];
+      for (const Adj& c : g.children(n))
+        ps.alap_arena[pos++] = ps.alap_rank[c.node];
+      std::sort(ps.alap_arena.begin() + ps.alap_off[n] + 1,
+                ps.alap_arena.begin() + ps.alap_off[n + 1]);
+    }
+    const std::uint32_t* arena = ps.alap_arena.data();
+    const std::size_t* off = ps.alap_off.data();
     std::sort(ps.order.begin(), ps.order.end(), [&](NodeId a, NodeId b) {
-      if (prio[a] != prio[b]) return prio[a] < prio[b];
+      const std::uint32_t* pa = arena + off[a];
+      const std::uint32_t* pb = arena + off[b];
+      const std::size_t la = off[a + 1] - off[a];
+      const std::size_t lb = off[b + 1] - off[b];
+      const std::size_t m = la < lb ? la : lb;
+      for (std::size_t i = 0; i < m; ++i)
+        if (pa[i] != pb[i]) return pa[i] < pb[i];
+      if (la != lb) return la < lb;  // equal prefix: shorter list first
       return a < b;
     });
   } else {

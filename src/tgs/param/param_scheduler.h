@@ -39,6 +39,26 @@ struct ParamScratch {
   std::vector<NodeId> order;  // scratch for building rank
   std::vector<Time> arrival;  // kDynamic: frozen arrival time per node
   std::vector<ProcId> assign; // cluster pre-pass: node -> processor
+
+  // Lazy selection heap of the list phase (see param_scheduler.cpp). It
+  // replaces the O(ready)-per-step argmin scan of the static/dynamic ready
+  // policies with a log-time pop; entries whose node left the ready set
+  // another way (hole filling) go stale and are discarded on pop.
+  struct ListPick {
+    Time primary;  // kDynamic: frozen arrival; kStatic: 0
+    int rank;
+    NodeId node;
+  };
+  std::vector<ListPick> list_heap;
+
+  // kAlapList rank-compressed priority: one flat arena of dense ALAP ranks
+  // per node ([rank(alap(n)), sorted child ranks]) replaces the per-node
+  // vector<vector<Time>> of the original MCP (v heap allocations and an
+  // O(v)-byte worst-case compare at v = 100k).
+  std::vector<std::uint32_t> alap_rank;   // node -> dense ALAP rank
+  std::vector<NodeId> alap_sorted;        // scratch: nodes by ALAP value
+  std::vector<std::size_t> alap_off;      // node -> arena offset (v+1)
+  std::vector<std::uint32_t> alap_arena;  // concatenated priority lists
 };
 
 class ParamScheduler : public Scheduler {

@@ -42,6 +42,17 @@ std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
   return x;
 }
 
+std::int64_t Cli::get_int_in(const std::string& key, std::int64_t fallback,
+                             std::int64_t lo, std::int64_t hi) const {
+  if (!has(key)) return fallback;
+  const std::int64_t x = get_int(key, fallback);
+  if (x < lo || x > hi)
+    throw std::invalid_argument(
+        "--" + key + "=" + std::to_string(x) + ": out of range [" +
+        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  return x;
+}
+
 double Cli::get_double(const std::string& key, double fallback) const {
   auto it = flags_.find(key);
   if (it == flags_.end()) return fallback;

@@ -26,6 +26,16 @@ class Cli {
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
 
+  /// get_int with an inclusive [lo, hi] validity range. The giant tier
+  /// parses `--v=100000`-class flags through this: a value outside the
+  /// range (including anything that would truncate when narrowed to the
+  /// caller's NodeId/int) throws std::invalid_argument naming the flag,
+  /// the offending value and the accepted range -- never a silent
+  /// static_cast wrap. `fallback` is returned unchecked when the flag is
+  /// absent (callers own their defaults).
+  std::int64_t get_int_in(const std::string& key, std::int64_t fallback,
+                          std::int64_t lo, std::int64_t hi) const;
+
   /// Every occurrence of the flag in command-line order, with each value
   /// additionally split on commas: `--algo=MCP --algo=DCP,ETF` ->
   /// {"MCP", "DCP", "ETF"}. Empty when the flag is absent.

@@ -29,4 +29,19 @@ inline constexpr Time kTimeInf = std::numeric_limits<Time>::max() / 8;
 
 inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
 
+// Giant-graph tier invariants (v up to ~100k nodes). Path-length sums are
+// O(v * max_weight): a 100k-node chain of mean-40 weights is ~4e6, but CCR
+// sweeps scale edge costs by 10x and traced kernels emit weights O(v), so
+// fingerprint-visible sums reach ~1e10 -- past 32-bit Time/Cost. The widths
+// below are load-bearing; shrinking them is a silent-overflow regression
+// (tests/test_generators_scale.cpp holds the runtime counterpart).
+static_assert(sizeof(Time) == 8 && sizeof(Cost) == 8,
+              "Time/Cost must be 64-bit: 100k-node path sums overflow 32");
+static_assert(std::numeric_limits<Time>::max() >= (std::int64_t{1} << 62),
+              "Time must cover ~1e18: kTimeInf arithmetic relies on it");
+static_assert(std::numeric_limits<NodeId>::max() >= 100'000u,
+              "NodeId must index 100k-node giant-tier graphs");
+static_assert(kTimeInf > (std::int64_t{1} << 40),
+              "kTimeInf must dominate any real giant-tier makespan");
+
 }  // namespace tgs

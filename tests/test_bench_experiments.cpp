@@ -78,6 +78,11 @@ const std::vector<ExpConfig>& reduced_configs() {
       {"param_sweep",
        {"--ccr=1.0", "--max-v=12", "--bb-nodes=500", "--metric=sl,alap",
         "--ready=static,etf", "--insertion=append,insert"}},
+      // Every measurement field (seconds, rss, alloc deltas) routes
+      // through time_value(), so --no-timing makes the stream
+      // byte-reproducible at any thread count.
+      {"giant_sweep",
+       {"--sizes=300,900", "--no-timing", "--algos=MCP,ETF"}},
   };
   return configs;
 }

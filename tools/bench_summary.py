@@ -13,6 +13,15 @@ Usage:
         Exit status 1 when the files differ, 0 when identical -- usable as
         a CI gate against a golden run.
 
+    bench_summary.py --scaling FILE.jsonl [--value-field seconds]
+        Per-algorithm scaling exponents from a giant_sweep run. For each
+        column (algorithm), least-squares fit of log(value) against
+        log(v) -- v taken from the v_actual field when present, else the
+        row key -- and report the slope: ~1 is linear, ~2 quadratic. Rows
+        with non-positive value or v are skipped (a --no-timing stream has
+        no slopes to fit). The value range is printed next to the exponent
+        so sub-millisecond noise floors are visible.
+
     bench_summary.py --ranks FILE.jsonl [--value-field value] [--top N]
         Per-algorithm ranking table. Rows are grouped by sweep coordinate
         (all identity fields except column); inside each group the columns
@@ -27,6 +36,7 @@ Stdlib only; rows that fail to parse are counted and reported, not fatal.
 """
 import argparse
 import json
+import math
 import statistics
 import sys
 
@@ -183,6 +193,56 @@ def ranks(path, value_field, top, exclude=("optimal", "L_opt")):
     return 0
 
 
+def scaling(path, value_field):
+    rows, bad = load_rows(path)
+    if bad:
+        print(f"warning: {path}: {len(bad)} unparseable lines skipped",
+              file=sys.stderr)
+    # column -> list of (v, value) observations.
+    series = {}
+    for r in rows:
+        column = r.get("column")
+        v = r.get("v_actual", r.get("row"))
+        val = r.get(value_field)
+        if column is None or not is_numeric(v) or not is_numeric(val):
+            continue
+        if v <= 0 or val <= 0:  # log-log fit needs positive samples
+            continue
+        series.setdefault(column, []).append((float(v), float(val)))
+
+    fits = []
+    for column, pts in sorted(series.items()):
+        # Collapse duplicate sizes (reps) to their minimum: the noise
+        # floor, consistent with how the sweeps report timings.
+        by_v = {}
+        for v, val in pts:
+            by_v[v] = min(val, by_v.get(v, float("inf")))
+        if len(by_v) < 2:
+            continue
+        xs = [math.log(v) for v in sorted(by_v)]
+        ys = [math.log(by_v[v]) for v in sorted(by_v)]
+        n = len(xs)
+        mx, my = sum(xs) / n, sum(ys) / n
+        sxx = sum((x - mx) ** 2 for x in xs)
+        sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+        slope = sxy / sxx if sxx else float("nan")
+        lo, hi = min(by_v.values()), max(by_v.values())
+        fits.append((column, slope, n, lo, hi))
+
+    if not fits:
+        print(f"{path}: no fittable series (value field '{value_field}'; "
+              "was the run made with --no-timing?)")
+        return 1
+    print(f"== {path}: log-log slope of '{value_field}' vs v per column "
+          "(~1 linear, ~2 quadratic)")
+    width = max(len(c) for c, *_ in fits)
+    print(f"{'column':<{width}} {'slope':>7} {'sizes':>6} "
+          f"{'min ' + value_field:>14} {'max ' + value_field:>14}")
+    for column, slope, n, lo, hi in sorted(fits, key=lambda f: -f[1]):
+        print(f"{column:<{width}} {slope:>7.2f} {n:>6} {lo:>14.4g} {hi:>14.4g}")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -191,6 +251,8 @@ def main():
                     help="compare exactly two files row-by-row")
     ap.add_argument("--ranks", action="store_true",
                     help="per-column mean-rank table of one file")
+    ap.add_argument("--scaling", action="store_true",
+                    help="per-column log-log scaling exponents of one file")
     ap.add_argument("--value-field", default="value",
                     help="field to rank by (default: value)")
     ap.add_argument("--top", type=int, default=25,
@@ -206,6 +268,12 @@ def main():
         if len(args.files) != 1:
             ap.error("--ranks needs exactly one file")
         return ranks(args.files[0], args.value_field, args.top)
+
+    if args.scaling:
+        if len(args.files) != 1:
+            ap.error("--scaling needs exactly one file")
+        field = args.value_field if args.value_field != "value" else "seconds"
+        return scaling(args.files[0], field)
 
     had_bad = False
     for path in args.files:
