@@ -10,16 +10,29 @@
 // submission fingerprints identically and must come back "cached":true.
 // Raw response JSON is printed one line per request; exit status is 0 only
 // if every response had "status":"ok".
+//
+// Transient failures -- a daemon still restarting, "overloaded" or shed
+// replies, connection drops, I/O timeouts -- are retried up to --retries
+// times with exponential backoff and decorrelated jitter. A retry resends
+// the SAME request id with a bumped "retry" attempt counter: scheduling is
+// deterministic and cached, so retried requests are idempotent by
+// construction. Definitive errors (bad_graph, unknown_algo, ...) are never
+// retried.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tgs/exec/jsonl.h"
 #include "tgs/serve/json.h"
 #include "tgs/serve/socket.h"
 #include "tgs/util/cli.h"
+#include "tgs/util/rng.h"
 
 namespace {
 
@@ -41,6 +54,53 @@ std::string round_trip(tgs::UnixConn& conn, const std::string& request) {
   return reply;
 }
 
+struct RetryPolicy {
+  long retries = 3;     // attempts beyond the first
+  long base_ms = 25;    // backoff floor
+  long cap_ms = 2000;   // backoff ceiling
+  int timeout_ms = 0;   // per-socket-op timeout (0 = block)
+};
+
+/// Only these reply codes mean "the same request may succeed later".
+bool retryable_code(const std::string& code) {
+  return code == "overloaded";
+}
+
+/// Run one request with the retry loop. `build(attempt)` renders the
+/// request line for that attempt (same id, "retry" field = attempt).
+/// `conn` is reconnected on demand -- a dropped daemon connection is just
+/// another transient. Throws only after the final attempt fails hard.
+std::string request_with_retry(
+    const std::string& socket_path, tgs::UnixConn* conn,
+    const RetryPolicy& policy, tgs::Rng* rng,
+    const std::function<std::string(int)>& build) {
+  // Decorrelated jitter: each sleep is uniform in [base, 3 * previous],
+  // clamped to the cap. Independent clients desynchronize instead of
+  // hammering a recovering daemon in lockstep.
+  long sleep_ms = policy.base_ms;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (!conn->valid()) {
+        *conn = tgs::UnixConn::connect(socket_path);
+        if (policy.timeout_ms > 0)
+          conn->set_timeouts(policy.timeout_ms, policy.timeout_ms);
+      }
+      const std::string reply = round_trip(*conn, build(attempt));
+      const std::string code = tgs::json_parse(reply).get_string("code", "");
+      if (!retryable_code(code) || attempt >= policy.retries) return reply;
+    } catch (const std::exception&) {
+      // Half-read replies poison the line framing: always reconnect.
+      conn->close();
+      if (attempt >= policy.retries) throw;
+    }
+    sleep_ms = std::min(
+        policy.cap_ms,
+        rng->uniform_int(policy.base_ms, std::max(policy.base_ms,
+                                                  sleep_ms * 3)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,20 +111,43 @@ int main(int argc, char** argv) {
         "usage: tgs_client [graph.tgs] [--socket=PATH] [--algo=A[,B...]]\n"
         "                  [--procs=N | --topology=SPEC] [--repeat=N]\n"
         "                  [--schedule] [--out=FILE] [--no-cache] [--quiet]\n"
+        "                  [--deadline-ms=N] [--priority=high|low]\n"
+        "                  [--retries=3] [--retry-base-ms=25]\n"
+        "                  [--retry-cap-ms=2000] [--timeout-ms=N] [--seed=N]\n"
         "                  [--stats] [--ping] [--shutdown]\n");
     return 0;
   }
 
   try {
     const std::string socket_path = cli.get("socket", "/tmp/tgs_serve.sock");
-    UnixConn conn = UnixConn::connect(socket_path);
+    RetryPolicy policy;
+    policy.retries = cli.get_int_in("retries", policy.retries, 0, 1000);
+    policy.base_ms =
+        cli.get_int_in("retry-base-ms", policy.base_ms, 1, 3600000);
+    policy.cap_ms = cli.get_int_in("retry-cap-ms", policy.cap_ms, 1, 3600000);
+    policy.timeout_ms = static_cast<int>(
+        cli.get_int_in("timeout-ms", 0, 0, 1000000000));
+    Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
 
-    // Admin ops: fire the one op and report.
+    // Lazily connected (inside the retry loop), so a daemon mid-restart is
+    // a transient, not an immediate failure.
+    UnixConn conn;
+
+    // Admin ops: fire the one op and report. shutdown is intentionally
+    // never retried -- re-sending it to a freshly restarted daemon would
+    // kill the wrong incarnation.
     for (const char* op : {"stats", "ping", "shutdown"}) {
       if (!cli.has(op)) continue;
-      JsonObject o;
-      o.add("op", op);
-      const std::string reply = round_trip(conn, o.str());
+      const RetryPolicy admin_policy =
+          std::string(op) == "shutdown" ? RetryPolicy{0, 1, 1,
+                                                      policy.timeout_ms}
+                                        : policy;
+      const std::string reply = request_with_retry(
+          socket_path, &conn, admin_policy, &rng, [op](int) {
+            JsonObject o;
+            o.add("op", op);
+            return o.str();
+          });
       std::printf("%s\n", reply.c_str());
       return json_parse(reply).get_string("status", "") == "ok" ? 0 : 1;
     }
@@ -86,19 +169,25 @@ int main(int argc, char** argv) {
     int seq = 0;
     for (long r = 0; r < repeat; ++r) {
       for (const std::string& algo : algos) {
-        JsonObject o;
-        o.add("id", "c" + std::to_string(seq++))
-            .add("algo", algo)
-            .add("graph", graph_text);
-        if (cli.has("topology")) {
-          o.add("topology", cli.get("topology", ""));
-        } else if (cli.has("procs")) {
-          o.add_int("procs", cli.get_int("procs", 0));
-        }
-        if (want_schedule) o.add("schedule", true);
-        if (cli.has("no-cache")) o.add("cache", false);
-
-        const std::string reply = round_trip(conn, o.str());
+        const std::string id = "c" + std::to_string(seq++);
+        const auto build = [&](int attempt) {
+          JsonObject o;
+          o.add("id", id).add("algo", algo).add("graph", graph_text);
+          if (cli.has("topology")) {
+            o.add("topology", cli.get("topology", ""));
+          } else if (cli.has("procs")) {
+            o.add_int("procs", cli.get_int("procs", 0));
+          }
+          if (want_schedule) o.add("schedule", true);
+          if (cli.has("no-cache")) o.add("cache", false);
+          if (cli.has("deadline-ms"))
+            o.add_int("deadline_ms", cli.get_int("deadline-ms", 0));
+          if (cli.has("priority")) o.add("priority", cli.get("priority", ""));
+          if (attempt > 0) o.add_int("retry", attempt);
+          return o.str();
+        };
+        const std::string reply =
+            request_with_retry(socket_path, &conn, policy, &rng, build);
         if (!cli.has("quiet")) std::printf("%s\n", reply.c_str());
 
         const JsonValue doc = json_parse(reply);

@@ -2,14 +2,27 @@
 //
 //   ./tgs_serve --socket=/tmp/tgs.sock --workers=4
 //       [--queue-cap=256] [--cache-cap=1024]
+//       [--journal=PATH] [--fsync-every=1] [--compact-every=4096]
+//       [--default-deadline-ms=0] [--max-deadline-ms=0] [--io-timeout-ms=0]
+//       [--faults=SPEC]
 //
 // Serves the line-delimited JSON protocol of docs/serve.md on a unix
 // socket until SIGINT/SIGTERM or a client "shutdown" op. Exit code 0 on a
 // clean stop.
+//
+// --journal makes the schedule cache crash-safe: entries are appended to a
+// checksummed journal before the response is sent, and replayed on
+// restart (torn tails from a crash are truncated, never fatal).
+//
+// --faults (or the TGS_FAULTS env var; the flag wins) arms deterministic
+// fault injection for chaos testing, e.g. --faults="read_eintr*10" or
+// "journal_torn@3". See src/tgs/serve/faults.h for the grammar.
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
+#include "tgs/serve/faults.h"
 #include "tgs/serve/server.h"
 #include "tgs/util/cli.h"
 
@@ -19,7 +32,10 @@ int main(int argc, char** argv) {
   if (cli.has("help")) {
     std::printf(
         "usage: tgs_serve [--socket=PATH] [--workers=N] [--queue-cap=N]\n"
-        "                 [--cache-cap=N] [--quiet]\n");
+        "                 [--cache-cap=N] [--journal=PATH] [--fsync-every=N]\n"
+        "                 [--compact-every=N] [--default-deadline-ms=N]\n"
+        "                 [--max-deadline-ms=N] [--io-timeout-ms=N]\n"
+        "                 [--faults=SPEC] [--quiet]\n");
     return 0;
   }
 
@@ -31,6 +47,23 @@ int main(int argc, char** argv) {
         cli.get_int("queue-cap", static_cast<std::int64_t>(opt.queue_capacity)));
     opt.cache_capacity = static_cast<std::size_t>(
         cli.get_int("cache-cap", static_cast<std::int64_t>(opt.cache_capacity)));
+    opt.journal_path = cli.get("journal", "");
+    opt.journal_fsync_every = static_cast<int>(
+        cli.get_int_in("fsync-every", opt.journal_fsync_every, 0, 1 << 20));
+    opt.journal_compact_every = static_cast<int>(
+        cli.get_int_in("compact-every", opt.journal_compact_every, 0,
+                       1 << 30));
+    opt.default_deadline_ms = static_cast<int>(
+        cli.get_int_in("default-deadline-ms", 0, 0, 1000000000));
+    opt.max_deadline_ms = static_cast<int>(
+        cli.get_int_in("max-deadline-ms", 0, 0, 1000000000));
+    opt.io_timeout_ms = static_cast<int>(
+        cli.get_int_in("io-timeout-ms", 0, 0, 1000000000));
+
+    const char* env_faults = std::getenv("TGS_FAULTS");
+    const std::string faults =
+        cli.get("faults", env_faults != nullptr ? env_faults : "");
+    if (!faults.empty()) FaultPlan::global().arm_spec(faults);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tgs_serve: %s\n", e.what());
     return 1;

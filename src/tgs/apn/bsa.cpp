@@ -44,6 +44,7 @@ NetSchedule BsaScheduler::do_run(const TaskGraph& g, const RoutingTable& routes,
       on_pivot.push_back(static_cast<NodeId>(iv.owner));
 
     for (NodeId n : on_pivot) {
+      ws.deadline().poll();
       if (ns.tasks().proc(n) != pivot) continue;  // already bubbled away
       const Time cur_start = ns.tasks().start(n);
 

@@ -6,7 +6,6 @@ namespace tgs {
 
 NetSchedule BuScheduler::do_run(const TaskGraph& g, const RoutingTable& routes,
                                 SchedWorkspace& ws) const {
-  (void)ws;
   const Topology& topo = routes.topology();
   const int nprocs = topo.num_procs();
 
@@ -17,6 +16,7 @@ NetSchedule BuScheduler::do_run(const TaskGraph& g, const RoutingTable& routes,
   std::vector<Cost> load(nprocs, 0);
   const auto& topo_order = g.topological_order();
   for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
+    ws.deadline().poll();
     const NodeId n = *it;
     ProcId best_p = 0;
     Cost best_pull = -1;

@@ -54,6 +54,7 @@ NetSchedule DlsApnScheduler::do_run(const TaskGraph& g,
   for (NodeId n : ready.ready()) rescore(n);
 
   while (!ready.empty()) {
+    ws.deadline().poll();
     NodeId best_n;
     while (true) {
       best_n = kNoNode;

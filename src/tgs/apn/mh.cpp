@@ -12,6 +12,7 @@ NetSchedule MhScheduler::do_run(const TaskGraph& g, const RoutingTable& routes,
   // Descending b-level is a topological order, so parents are always placed
   // before their children.
   for (NodeId n : blevel_order(g)) {
+    ws.deadline().poll();
     // One one-to-all sweep replaces the per-processor probes: est[p] is
     // bit-identical to apn_probe_est(ns, n, p), so the strict < argmin
     // keeps the smallest-id tie-break.

@@ -93,6 +93,7 @@ class ListPhase {
     ps_.list_heap.clear();
     for (NodeId n : ready_.ready()) push_list(n, dynamic);
     while (!ready_.empty()) {
+      ws_.deadline().poll();
       const NodeId n = pick_list();
       ProcId p;
       Time start;
@@ -121,6 +122,7 @@ class ListPhase {
     for (NodeId n : ready_.ready()) sel.node_ready(n);
     const bool etf = spec_.ready == ParamReady::kPairEtf;
     while (!ready_.empty()) {
+      ws_.deadline().poll();
       NodeId best_n = kNoNode;
       Time best_t = 0;
       Time best_dl = 0;
@@ -156,6 +158,7 @@ class ListPhase {
   void run_pair_clustered() {
     const bool etf = spec_.ready == ParamReady::kPairEtf;
     while (!ready_.empty()) {
+      ws_.deadline().poll();
       NodeId best_n = kNoNode;
       Time best_t = 0;
       Time best_dl = 0;
@@ -229,6 +232,7 @@ class ListPhase {
   void fill_hole(ProcId proc, Time gap_from, Time gap_to,
                  IncrementalPairSelector* sel, bool dynamic) {
     while (gap_from < gap_to && !ready_.empty()) {
+      ws_.deadline().poll();
       NodeId best_fill = kNoNode;
       Time best_start = 0;
       for (NodeId m : ready_.ready()) {

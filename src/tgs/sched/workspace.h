@@ -27,7 +27,10 @@
 // reuse the address of a previous one.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "tgs/graph/attributes.h"
@@ -37,6 +40,57 @@ namespace tgs {
 struct PairScratch;          // bnp/bnp_common.h
 struct ApnMigrationScratch;  // apn/apn_common.h
 struct ParamScratch;         // param/param_scheduler.h
+
+/// Thrown out of a scheduler run when the workspace's armed deadline
+/// passes. Algorithm state is abandoned mid-construction, which is safe:
+/// all per-run state lives in the (capacity-only) workspace scratch or in
+/// locals, so the workspace and its thread stay fully reusable --
+/// begin_graph() + run() the next request as if nothing happened.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded() : std::runtime_error("scheduling deadline exceeded") {}
+};
+
+/// Cooperative cancellation-by-deadline, threaded through scheduler inner
+/// loops via the workspace. Disarmed (the default) a poll() is a single
+/// predictable branch; armed, it reads the steady clock only every
+/// kStride-th call, so even v=100k runs pay a few thousand clock reads at
+/// most -- no measurable cost in the perf gates. The first poll after
+/// arm() checks immediately, so an already-expired deadline cancels even
+/// a 9-node run at its first placement.
+///
+/// Ownership contract: whoever arms it disarms it (tgs_serve wraps runs
+/// in an ArmGuard). A run that throws DeadlineExceeded leaves the token
+/// armed; disarm() in the guard's unwind path resets it for the next run.
+class RunDeadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  void arm(Clock::time_point deadline) {
+    deadline_ = deadline;
+    countdown_ = 1;  // first poll checks the clock
+    armed_ = true;
+  }
+  void disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+
+  bool expired() const { return armed_ && Clock::now() >= deadline_; }
+
+  /// Amortized check; throws DeadlineExceeded once the deadline passes.
+  void poll() {
+    if (armed_ && --countdown_ == 0) {
+      countdown_ = kStride;
+      if (Clock::now() >= deadline_) throw DeadlineExceeded();
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kStride = 64;
+
+  Clock::time_point deadline_{};
+  std::uint32_t countdown_ = kStride;
+  bool armed_ = false;
+};
 
 /// Reusable per-processor buffers of the one-to-all APN probes
 /// (apn_probe_est_all): one arrival sweep, the running data-ready maxima,
@@ -81,8 +135,14 @@ class SchedWorkspace {
   /// ParamScheduler per run.
   ParamScratch& param_scratch() { return *param_; }
 
+  /// Cooperative per-request deadline polled by ParamScheduler and the
+  /// APN inner loops. Survives begin_graph() untouched: arming is the
+  /// caller's per-request decision, not per-graph state.
+  RunDeadline& deadline() { return deadline_; }
+
  private:
   const TaskGraph* graph_ = nullptr;
+  RunDeadline deadline_;
   GraphAttributeCache attrs_;
   std::unique_ptr<PairScratch> pair_;
   ApnSweepScratch apn_;

@@ -1,5 +1,9 @@
 #include "tgs/serve/cache.h"
 
+#include <new>
+
+#include "tgs/serve/faults.h"
+
 namespace tgs {
 
 bool ScheduleCache::lookup(const std::string& key, CachedSchedule* out) {
@@ -18,6 +22,9 @@ bool ScheduleCache::lookup(const std::string& key, CachedSchedule* out) {
 void ScheduleCache::insert(const std::string& key,
                            const CachedSchedule& value) {
   if (capacity_ == 0) return;
+  // Scripted allocation failure: the cache is an accelerator, so callers
+  // must survive insert() throwing exactly as they would a real OOM.
+  if (FaultPlan::hit(FaultPoint::kCacheOom)) throw std::bad_alloc();
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -34,6 +41,16 @@ void ScheduleCache::insert(const std::string& key,
   }
   lru_.push_front(Entry{key, value});
   index_[key] = lru_.begin();
+}
+
+std::vector<std::pair<std::string, CachedSchedule>> ScheduleCache::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, CachedSchedule>> out;
+  out.reserve(lru_.size());
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it)  // LRU first
+    out.emplace_back(it->key, it->value);
+  return out;
 }
 
 ScheduleCache::Counters ScheduleCache::counters() const {

@@ -19,6 +19,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "tgs/util/types.h"
 
@@ -46,8 +48,15 @@ class ScheduleCache {
   /// or a miss.
   bool lookup(const std::string& key, CachedSchedule* out);
 
-  /// Inserts or overwrites; evicts the LRU entry when at capacity.
+  /// Inserts or overwrites; evicts the LRU entry when at capacity. May
+  /// throw std::bad_alloc under memory pressure (or a scripted kCacheOom
+  /// fault) -- callers treat that as "not cached", never as fatal.
   void insert(const std::string& key, const CachedSchedule& value);
+
+  /// Copy of all entries, least recently used first, so that replaying
+  /// them through insert() reproduces the same recency order. Feeds
+  /// journal compaction.
+  std::vector<std::pair<std::string, CachedSchedule>> snapshot() const;
 
   struct Counters {
     std::uint64_t hits = 0;

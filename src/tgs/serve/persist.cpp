@@ -1,0 +1,344 @@
+#include "tgs/serve/persist.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "tgs/serve/faults.h"
+
+namespace tgs {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'G', 'S', 'J', 'R', 'N', 'L', '1'};
+
+// Records are length-prefixed; cap a single record well above any real
+// schedule text (which is itself bounded by the 64 MiB line limit) so a
+// corrupt length field can't drive a multi-gigabyte allocation during
+// recovery -- it is treated as a torn tail instead.
+constexpr std::uint32_t kMaxRecord = 256u << 20;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+void put_u32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+// Bounded little-endian reads over a byte range; each returns false when
+// the payload is too short, which recovery treats as corruption.
+struct Reader {
+  const unsigned char* p;
+  const unsigned char* end;
+
+  bool u32(std::uint32_t* v) {
+    if (end - p < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= std::uint32_t(p[i]) << (8 * i);
+    p += 4;
+    return true;
+  }
+  bool u64(std::uint64_t* v) {
+    if (end - p < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= std::uint64_t(p[i]) << (8 * i);
+    p += 8;
+    return true;
+  }
+  bool bytes(std::string* s, std::uint32_t n) {
+    if (end - p < static_cast<std::ptrdiff_t>(n)) return false;
+    s->assign(reinterpret_cast<const char*>(p), n);
+    p += n;
+    return true;
+  }
+};
+
+std::string encode_payload(const std::string& key,
+                           const CachedSchedule& value) {
+  std::string payload;
+  payload.reserve(key.size() + value.schedule_text.size() + 40);
+  put_u32(&payload, static_cast<std::uint32_t>(key.size()));
+  payload.append(key);
+  put_u64(&payload, static_cast<std::uint64_t>(value.makespan));
+  std::uint64_t nsl_bits;
+  static_assert(sizeof nsl_bits == sizeof value.nsl, "double must be 64-bit");
+  std::memcpy(&nsl_bits, &value.nsl, sizeof nsl_bits);
+  put_u64(&payload, nsl_bits);
+  put_u32(&payload, static_cast<std::uint32_t>(value.procs_used));
+  put_u64(&payload, static_cast<std::uint64_t>(value.num_messages));
+  put_u32(&payload, static_cast<std::uint32_t>(value.schedule_text.size()));
+  payload.append(value.schedule_text);
+  return payload;
+}
+
+bool decode_payload(const std::string& payload, std::string* key,
+                    CachedSchedule* value) {
+  Reader r{reinterpret_cast<const unsigned char*>(payload.data()),
+           reinterpret_cast<const unsigned char*>(payload.data()) +
+               payload.size()};
+  std::uint32_t key_len, procs, text_len;
+  std::uint64_t makespan, nsl_bits, num_messages;
+  if (!r.u32(&key_len) || !r.bytes(key, key_len)) return false;
+  if (!r.u64(&makespan) || !r.u64(&nsl_bits)) return false;
+  if (!r.u32(&procs) || !r.u64(&num_messages)) return false;
+  if (!r.u32(&text_len) || !r.bytes(&value->schedule_text, text_len))
+    return false;
+  if (r.p != r.end) return false;  // trailing garbage inside the frame
+  value->makespan = static_cast<Time>(makespan);
+  std::memcpy(&value->nsl, &nsl_bits, sizeof value->nsl);
+  value->procs_used = static_cast<int>(procs);
+  value->num_messages = static_cast<std::size_t>(num_messages);
+  return true;
+}
+
+std::string encode_record(const std::string& payload) {
+  std::string rec;
+  rec.reserve(payload.size() + 8);
+  put_u32(&rec, static_cast<std::uint32_t>(payload.size()));
+  put_u32(&rec, crc32_ieee(payload.data(), payload.size()));
+  rec.append(payload);
+  return rec;
+}
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // short file: torn tail
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32_ieee(const void* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Journal::open(const std::string& path, int fsync_every) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_ = path;
+  fsync_every_ = fsync_every;
+  sealed_ = false;
+  recovery_ = JournalRecovery();
+
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0)
+    throw std::runtime_error("journal open " + path + ": " +
+                             std::strerror(errno));
+
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) st.st_size = 0;
+  const std::uint64_t file_size = static_cast<std::uint64_t>(st.st_size);
+
+  // Empty (fresh) file: stamp the header and we're done.
+  if (file_size == 0) {
+    write_all_locked(kMagic, sizeof kMagic);
+    if (fsync_every_ > 0) ::fsync(fd_);
+    return;
+  }
+
+  // Recovery: accept the longest prefix of intact records, then truncate
+  // whatever follows. Any defect -- bad magic, a frame that runs past
+  // EOF, a CRC mismatch, a payload that doesn't parse exactly -- ends the
+  // valid prefix; nothing here throws.
+  std::uint64_t valid = 0;
+  char magic[sizeof kMagic];
+  if (::lseek(fd_, 0, SEEK_SET) == 0 &&
+      read_exact(fd_, magic, sizeof magic) &&
+      std::memcmp(magic, kMagic, sizeof magic) == 0) {
+    valid = sizeof kMagic;
+    for (;;) {
+      unsigned char frame[8];
+      if (!read_exact(fd_, frame, sizeof frame)) break;
+      std::uint32_t len = 0, crc = 0;
+      for (int i = 0; i < 4; ++i) {
+        len |= std::uint32_t(frame[i]) << (8 * i);
+        crc |= std::uint32_t(frame[4 + i]) << (8 * i);
+      }
+      if (len > kMaxRecord || valid + 8 + len > file_size) break;
+      std::string payload(len, '\0');
+      if (len > 0 && !read_exact(fd_, &payload[0], len)) break;
+      if (crc32_ieee(payload.data(), payload.size()) != crc) break;
+      std::string key;
+      CachedSchedule value;
+      if (!decode_payload(payload, &key, &value)) break;
+      recovery_.entries.emplace_back(std::move(key), std::move(value));
+      valid += 8 + len;
+    }
+  }
+
+  recovery_.replayed = recovery_.entries.size();
+  if (valid < file_size) {
+    recovery_.truncated_bytes = file_size - valid;
+    recovery_.tail_truncated = true;
+  }
+
+  if (valid == 0) {
+    // Header itself was damaged: start the journal over. The unreadable
+    // bytes are reported, not preserved -- an unparseable journal can
+    // never contribute entries again anyway.
+    if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) != 0) {
+      // Can't reset the file: keep serving without persistence.
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    write_all_locked(kMagic, sizeof kMagic);
+  } else if (valid < file_size) {
+    if (::ftruncate(fd_, static_cast<off_t>(valid)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+  }
+  ::lseek(fd_, 0, SEEK_END);
+  if (recovery_.tail_truncated && fsync_every_ > 0) ::fsync(fd_);
+}
+
+bool Journal::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fd_ >= 0;
+}
+
+void Journal::append(const std::string& key, const CachedSchedule& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || sealed_) return;
+
+  const std::string rec = encode_record(encode_payload(key, value));
+
+  // Torn-write fault: persist only a prefix of the record, then seal the
+  // journal -- from here on the file looks exactly as if the process had
+  // been killed mid-write, which is what the recovery tests replay.
+  std::int64_t torn_arg = 0;
+  if (FaultPlan::hit(FaultPoint::kJournalTorn, &torn_arg)) {
+    std::size_t keep = torn_arg > 0 ? static_cast<std::size_t>(torn_arg)
+                                    : rec.size() / 2;
+    if (keep >= rec.size()) keep = rec.size() - 1;
+    write_all_locked(rec.data(), keep);
+    ::fsync(fd_);
+    sealed_ = true;
+    return;
+  }
+
+  write_all_locked(rec.data(), rec.size());
+  ++appends_;
+  ++appends_since_compact_;
+  if (fsync_every_ > 0 && appends_ % static_cast<std::uint64_t>(
+                                         fsync_every_) == 0)
+    ::fsync(fd_);
+}
+
+void Journal::compact(
+    const std::vector<std::pair<std::string, CachedSchedule>>& live) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || sealed_) return;
+
+  const std::string tmp_path = path_ + ".tmp";
+  const int tmp = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp < 0) return;
+
+  std::string out(kMagic, sizeof kMagic);
+  for (const auto& [key, value] : live)
+    out.append(encode_record(encode_payload(key, value)));
+
+  std::size_t off = 0;
+  bool ok = true;
+  while (off < out.size()) {
+    const ssize_t n = ::write(tmp, out.data() + off, out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (ok) ok = ::fsync(tmp) == 0;
+  ::close(tmp);
+  if (!ok || ::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return;
+  }
+
+  // Swap the fd to the new file; the old journal is gone.
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_RDWR | O_APPEND, 0644);
+  appends_since_compact_ = 0;
+  ++compactions_;
+}
+
+std::uint64_t Journal::appends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appends_;
+}
+
+std::uint64_t Journal::appends_since_compact() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appends_since_compact_;
+}
+
+std::uint64_t Journal::compactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compactions_;
+}
+
+void Journal::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    if (fsync_every_ > 0) ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Journal::write_all_locked(const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::write(fd_, data + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      // A failing disk mid-append: stop persisting rather than crash the
+      // daemon. The in-memory cache keeps serving.
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    off += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace tgs

@@ -12,6 +12,7 @@ const char* serve_error_code(ServeError e) {
     case ServeError::kUnknownAlgo: return "unknown_algo";
     case ServeError::kBadTopology: return "bad_topology";
     case ServeError::kOverloaded: return "overloaded";
+    case ServeError::kDeadlineExceeded: return "deadline_exceeded";
     case ServeError::kInternal: return "internal";
   }
   return "internal";
@@ -41,6 +42,22 @@ ServeRequest parse_request(const std::string& line) {
     req.procs = static_cast<int>(procs);
     req.want_schedule = doc.get_bool("schedule", false);
     req.use_cache = doc.get_bool("cache", true);
+    const double deadline = doc.get_number("deadline_ms", 0);
+    if (deadline != static_cast<double>(static_cast<int>(deadline)) ||
+        deadline < 0 || deadline > 1e9)
+      throw std::invalid_argument(
+          "field 'deadline_ms' must be an integer >= 0");
+    req.deadline_ms = static_cast<int>(deadline);
+    const std::string priority = doc.get_string("priority", "high");
+    if (priority != "high" && priority != "low")
+      throw std::invalid_argument(
+          "field 'priority' must be \"high\" or \"low\"");
+    req.low_priority = priority == "low";
+    const double retry = doc.get_number("retry", 0);
+    if (retry != static_cast<double>(static_cast<int>(retry)) || retry < 0 ||
+        retry > 1e6)
+      throw std::invalid_argument("field 'retry' must be an integer >= 0");
+    req.retry = static_cast<int>(retry);
   } catch (const std::invalid_argument& e) {
     throw ProtocolError(ServeError::kBadRequest, e.what());
   }

@@ -12,6 +12,14 @@
 //             = virtually unlimited (the paper's BNP/UNC setting)
 //   schedule  bool: include the full tgssched1 schedule text in the reply
 //   cache     bool (default true): permit serving/populating the cache
+//   deadline_ms  int >= 0: abandon the computation (status=error,
+//             code=deadline_exceeded) if it is still running this many ms
+//             after admission. 0 (default) = server default / cap applies.
+//   priority  "high" (default) | "low": under load the server sheds "low"
+//             requests that miss the cache instead of queueing them
+//   retry     int >= 0: client retry attempt number, 0 = first try.
+//             Observed for stats only; retried ids are served idempotently
+//             because scheduling is deterministic and cached.
 //
 // Response: {"id", "status":"ok"|"error", ...}. See docs/serve.md for the
 // full schema and the error-code table.
@@ -32,7 +40,8 @@ enum class ServeError {
   kBadGraph,     // graph text failed tgs1 parsing/validation
   kUnknownAlgo,  // algorithm name not in the registry for this machine
   kBadTopology,  // topology spec failed to parse
-  kOverloaded,   // admission control rejected: queue at capacity
+  kOverloaded,   // admission control rejected: queue at capacity / shed
+  kDeadlineExceeded,  // the request's deadline expired before completion
   kInternal,     // scheduling itself threw (a bug: inputs were validated)
 };
 
@@ -58,6 +67,9 @@ struct ServeRequest {
   int procs = 0;
   bool want_schedule = false;
   bool use_cache = true;
+  int deadline_ms = 0;           // 0 = no client deadline
+  bool low_priority = false;     // sheddable under load
+  int retry = 0;                 // client attempt number (0 = first)
 };
 
 /// Parse one request line. Throws ProtocolError(kBadJson) for non-JSON,

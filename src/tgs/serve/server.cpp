@@ -1,9 +1,11 @@
 #include "tgs/serve/server.h"
 
 #include <chrono>
+#include <new>
 #include <utility>
 
 #include "tgs/exec/jsonl.h"
+#include "tgs/serve/faults.h"
 #include "tgs/graph/fingerprint.h"
 #include "tgs/graph/graph_io.h"
 #include "tgs/harness/registry.h"
@@ -40,6 +42,14 @@ std::uint64_t micros_since(
           .count());
 }
 
+/// Disarms the workspace deadline on every exit path -- including the
+/// DeadlineExceeded throw itself -- so the thread-local workspace is
+/// always handed back clean for the worker's next request.
+struct DeadlineArmGuard {
+  RunDeadline& deadline;
+  ~DeadlineArmGuard() { deadline.disarm(); }
+};
+
 }  // namespace
 
 /// Shared between the reader thread and the workers computing for it; the
@@ -61,13 +71,31 @@ struct Server::ResolvedRequest {
   std::string algo_class;     // "BNP" / "UNC" / "APN"
   std::string cache_key;
   bool is_apn = false;
+  /// Absolute deadline fixed at admission (epoch = no deadline), so queue
+  /// wait counts against it just like compute time does.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 Server::Server(ServeOptions opt)
     : opt_(opt),
       listener_(opt.socket_path),
       pool_(resolve_workers(opt.workers)),
-      cache_(opt.cache_capacity) {}
+      cache_(opt.cache_capacity) {
+  if (!opt_.journal_path.empty()) {
+    journal_.open(opt_.journal_path, opt_.journal_fsync_every);
+    // Replay in append order: the journal records inserts oldest-first,
+    // so replay reproduces the cache's recency order (and LRU eviction
+    // keeps only the newest entries if the journal outgrew the cache).
+    for (const auto& [key, value] : journal_.recovery().entries) {
+      try {
+        cache_.insert(key, value);
+      } catch (const std::bad_alloc&) {
+        stats_.count_cache_insert_failure();
+        break;
+      }
+    }
+  }
+}
 
 Server::~Server() {
   request_stop();
@@ -86,6 +114,8 @@ void Server::serve_forever() {
   for (;;) {
     UnixConn conn = listener_.accept();
     if (!conn.valid()) break;  // listener closed: shutting down
+    if (opt_.io_timeout_ms > 0)
+      conn.set_timeouts(opt_.io_timeout_ms, opt_.io_timeout_ms);
     auto ctx = std::make_shared<ConnCtx>();
     ctx->conn = std::move(conn);
     {
@@ -126,9 +156,17 @@ void Server::reap_finished_connections(bool join_all) {
 void Server::handle_connection(const std::shared_ptr<ConnCtx>& ctx) {
   std::string line;
   try {
-    while (ctx->conn.read_line(&line)) handle_line(ctx, line);
+    while (ctx->conn.read_line(&line, opt_.max_request_bytes))
+      handle_line(ctx, line);
+  } catch (const LineTooLong& e) {
+    // A bounded request never OOMs the daemon: answer with a structured
+    // error, then drop the connection -- with no line framing left we
+    // cannot resynchronize on this socket.
+    stats_.count_request();
+    stats_.count_error();
+    write_response(ctx, render_error("", ServeError::kBadRequest, e.what()));
   } catch (const std::exception&) {
-    // Oversized line, mid-line close, or I/O error: drop the connection.
+    // Mid-line close, read timeout, or I/O error: drop the connection.
     // Anything already admitted still completes (the worker's write then
     // fails harmlessly against the shut-down fd).
   }
@@ -185,9 +223,22 @@ void Server::handle_schedule(const std::shared_ptr<ConnCtx>& ctx,
     write_response(ctx, render_error(req.id, code, msg));
   };
 
+  if (req.retry > 0) stats_.count_retry_observed();
+
   auto rr = std::make_shared<ResolvedRequest>();
   rr->req = req;
   rr->is_apn = !req.topology.empty();
+
+  // Effective deadline: the client's ask, else the server default, both
+  // clamped by the server cap (which also binds deadline-less requests).
+  int deadline_ms =
+      req.deadline_ms > 0 ? req.deadline_ms : opt_.default_deadline_ms;
+  if (opt_.max_deadline_ms > 0 &&
+      (deadline_ms == 0 || deadline_ms > opt_.max_deadline_ms))
+    deadline_ms = opt_.max_deadline_ms;
+  if (deadline_ms > 0)
+    rr->deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(deadline_ms);
 
   // Resolution order fixes error precedence: graph, then topology, then
   // algorithm (documented in docs/serve.md).
@@ -237,18 +288,33 @@ void Server::handle_schedule(const std::shared_ptr<ConnCtx>& ctx,
     }
   }
 
+  // Graceful degradation: under pressure (but before the hard admission
+  // bound) low-priority requests get the cache probe above and nothing
+  // more -- the compute queue is kept for high-priority work. The client
+  // backs off and retries; by then the entry may have been computed for
+  // someone else and becomes a cache hit.
+  const std::size_t shed_at =
+      opt_.shed_low_priority_at > 0
+          ? opt_.shed_low_priority_at
+          : opt_.queue_capacity - opt_.queue_capacity / 4;
+
   // Admission control: a full queue answers immediately instead of
   // buffering unboundedly. fetch_add-then-check keeps the bound exact
   // without a lock on the hot path.
   const char* reject_reason = nullptr;
+  bool shed = false;
   if (stopping_.load()) {
     reject_reason = "server shutting down";
+  } else if (req.low_priority && inflight_.load() >= shed_at) {
+    reject_reason = "low-priority request shed under load";
+    shed = true;
   } else if (inflight_.fetch_add(1) >= opt_.queue_capacity) {
     inflight_.fetch_sub(1);
     reject_reason = "queue at capacity";
   }
   if (reject_reason != nullptr) {
     stats_.count_rejected();
+    if (shed) stats_.count_shed();
     JsonObject o;
     if (!req.id.empty()) o.add("id", req.id);
     o.add("status", "error")
@@ -262,13 +328,29 @@ void Server::handle_schedule(const std::shared_ptr<ConnCtx>& ctx,
 
   try {
     pool_.submit([this, ctx, rr] {
+      // Scripted stall: models a worker wedged on a slow NUMA page-in or
+      // a debugger stop. Deadlined requests must still come back as
+      // deadline_exceeded, and the worker must survive to take the next
+      // job.
+      std::int64_t stall_ms = 0;
+      if (FaultPlan::hit(FaultPoint::kWorkerStall, &stall_ms))
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(stall_ms > 0 ? stall_ms : 100));
+
       const auto started = std::chrono::steady_clock::now();
       CachedSchedule result;
       try {
+        SchedWorkspace& ws = worker_workspace(*rr->graph);
+        DeadlineArmGuard guard{ws.deadline()};
+        if (rr->deadline != std::chrono::steady_clock::time_point{}) {
+          // Queue wait may already have burned the whole budget.
+          if (std::chrono::steady_clock::now() >= rr->deadline)
+            throw DeadlineExceeded();
+          ws.deadline().arm(rr->deadline);
+        }
         if (rr->is_apn) {
           const RoutingTable routes(Topology::from_spec(rr->req.topology));
           const ApnSchedulerPtr algo = make_apn_scheduler(rr->resolved_algo);
-          SchedWorkspace& ws = worker_workspace(*rr->graph);
           NetSchedule ns = algo->run(*rr->graph, routes, ws);
           result.makespan = ns.makespan();
           result.nsl = normalized_schedule_length(*rr->graph, ns.makespan());
@@ -279,13 +361,23 @@ void Server::handle_schedule(const std::shared_ptr<ConnCtx>& ctx,
           const SchedulerPtr algo = make_scheduler(rr->resolved_algo);
           SchedOptions opt;
           opt.num_procs = rr->req.procs;
-          SchedWorkspace& ws = worker_workspace(*rr->graph);
           Schedule s = algo->run(*rr->graph, opt, ws);
           result.makespan = s.makespan();
           result.nsl = normalized_schedule_length(s);
           result.procs_used = s.procs_used();
           result.schedule_text = schedule_to_string(s);
         }
+      } catch (const DeadlineExceeded& e) {
+        // Cooperative cancellation: the scheduler unwound through
+        // capacity-only scratch, so the workspace (and this worker) are
+        // immediately reusable.
+        inflight_.fetch_sub(1);
+        stats_.count_deadline_exceeded();
+        stats_.count_error();
+        write_response(ctx, render_error(rr->req.id,
+                                         ServeError::kDeadlineExceeded,
+                                         e.what()));
+        return;
       } catch (const std::exception& e) {
         inflight_.fetch_sub(1);
         stats_.count_error();
@@ -295,7 +387,28 @@ void Server::handle_schedule(const std::shared_ptr<ConnCtx>& ctx,
         return;
       }
       const std::uint64_t micros = micros_since(started);
-      if (rr->req.use_cache) cache_.insert(rr->cache_key, result);
+      bool inserted = false;
+      if (rr->req.use_cache) {
+        try {
+          cache_.insert(rr->cache_key, result);
+          inserted = true;
+        } catch (const std::bad_alloc&) {
+          // Memory pressure on insert: the result still goes to the
+          // client, it just isn't cached (or journaled -- the journal
+          // mirrors the cache).
+          stats_.count_cache_insert_failure();
+        }
+      }
+      if (inserted && journal_.is_open()) {
+        // Durability before visibility: the entry is on disk (per the
+        // fsync policy) before any client sees the response, so a crash
+        // after this point replays it on restart.
+        journal_.append(rr->cache_key, result);
+        if (opt_.journal_compact_every > 0 &&
+            journal_.appends_since_compact() >=
+                static_cast<std::uint64_t>(opt_.journal_compact_every))
+          journal_.compact(cache_.snapshot());
+      }
       stats_.record_latency(rr->resolved_algo, micros);
       stats_.count_ok();
       inflight_.fetch_sub(1);
@@ -327,6 +440,10 @@ std::string Server::render_stats(const std::string& id) const {
       .add_uint("requests_ok", s.requests_ok)
       .add_uint("requests_error", s.requests_error)
       .add_uint("requests_rejected", s.requests_rejected)
+      .add_uint("deadline_exceeded", s.deadline_exceeded)
+      .add_uint("shed_requests", s.shed_requests)
+      .add_uint("retries_observed", s.retries_observed)
+      .add_uint("cache_insert_failures", s.cache_insert_failures)
       .add_uint("cache_hits", c.hits)
       .add_uint("cache_misses", c.misses)
       .add_uint("cache_evictions", c.evictions)
@@ -344,6 +461,14 @@ std::string Server::render_stats(const std::string& id) const {
     algos.add_raw(a.algo, entry.str());
   }
   o.add_raw("algos", algos.str());
+  JsonObject journal;
+  journal.add("enabled", journal_.is_open())
+      .add_uint("replayed", journal_.recovery().replayed)
+      .add_uint("truncated_bytes", journal_.recovery().truncated_bytes)
+      .add("tail_truncated", journal_.recovery().tail_truncated)
+      .add_uint("appends", journal_.appends())
+      .add_uint("compactions", journal_.compactions());
+  o.add_raw("journal", journal.str());
   return o.str();
 }
 

@@ -30,6 +30,7 @@
 
 #include "tgs/exec/thread_pool.h"
 #include "tgs/serve/cache.h"
+#include "tgs/serve/persist.h"
 #include "tgs/serve/protocol.h"
 #include "tgs/serve/socket.h"
 #include "tgs/serve/stats.h"
@@ -44,6 +45,34 @@ struct ServeOptions {
   std::size_t queue_capacity = 256;
   /// Schedule-cache entries (0 disables caching).
   std::size_t cache_capacity = 1024;
+
+  /// Journal file for crash-safe cache persistence; empty = in-memory
+  /// only. On startup the valid prefix is replayed into the cache.
+  std::string journal_path;
+  /// fsync the journal after every Nth append (1 = every append; 0 =
+  /// leave syncing to the OS).
+  int journal_fsync_every = 1;
+  /// Compact the journal down to the live cache contents after this many
+  /// appends since the last compaction (0 = never compact).
+  int journal_compact_every = 4096;
+
+  /// Deadline applied to schedule requests that carry none; 0 = none.
+  int default_deadline_ms = 0;
+  /// Hard cap on any request's effective deadline (applies even to
+  /// requests with deadline_ms=0); 0 = no cap.
+  int max_deadline_ms = 0;
+
+  /// SO_RCVTIMEO/SO_SNDTIMEO on accepted connections, so a stalled or
+  /// vanished peer cannot pin a reader thread forever; 0 = blocking.
+  int io_timeout_ms = 0;
+
+  /// Inflight depth at which low-priority cache misses are shed instead
+  /// of queued; 0 = derive as 3/4 of queue_capacity.
+  std::size_t shed_low_priority_at = 0;
+
+  /// Per-request line bound; oversized requests get a structured
+  /// bad_request instead of growing the read buffer without limit.
+  std::size_t max_request_bytes = UnixConn::kMaxLine;
 };
 
 class Server {
@@ -70,6 +99,7 @@ class Server {
   /// Introspection for tests and the stats op.
   ServerStats& stats() { return stats_; }
   ScheduleCache& cache() { return cache_; }
+  Journal& journal() { return journal_; }
 
  private:
   struct ConnCtx;
@@ -90,6 +120,7 @@ class Server {
   UnixListener listener_;
   ThreadPool pool_;
   ScheduleCache cache_;
+  Journal journal_;
   ServerStats stats_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> inflight_{0};

@@ -1,13 +1,17 @@
 #include "tgs/serve/socket.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
+
+#include "tgs/serve/faults.h"
 
 namespace tgs {
 
@@ -62,13 +66,30 @@ bool UnixConn::read_line(std::string* line, std::size_t max_line) {
       buf_.erase(0, nl + 1);
       return true;
     }
-    if (buf_.size() > max_line) throw std::runtime_error("line too long");
+    if (buf_.size() > max_line) throw LineTooLong(max_line);
     char chunk[65536];
     ssize_t n;
     do {
-      n = ::read(fd_, chunk, sizeof chunk);
+      // Fault points: a scripted EINTR exercises this retry loop without
+      // a real signal; a scripted short read caps the chunk so the
+      // accumulation path sees arbitrarily fragmented input.
+      std::int64_t arg = 0;
+      if (FaultPlan::hit(FaultPoint::kReadEintr)) {
+        n = -1;
+        errno = EINTR;
+        continue;
+      }
+      std::size_t want = sizeof chunk;
+      if (FaultPlan::hit(FaultPoint::kReadShort, &arg))
+        want = static_cast<std::size_t>(
+            std::clamp<std::int64_t>(arg == 0 ? 1 : arg, 1,
+                                     static_cast<std::int64_t>(sizeof chunk)));
+      n = ::read(fd_, chunk, want);
     } while (n < 0 && errno == EINTR);
-    if (n < 0) throw_errno("read");
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) throw IoTimeout("read");
+      throw_errno("read");
+    }
     if (n == 0) {
       if (!buf_.empty())
         throw std::runtime_error("connection closed mid-line");
@@ -85,12 +106,39 @@ void UnixConn::write_line(const std::string& line) {
   while (off < framed.size()) {
     ssize_t n;
     do {
+      std::int64_t arg = 0;
+      if (FaultPlan::hit(FaultPoint::kWriteEintr)) {
+        n = -1;
+        errno = EINTR;
+        continue;
+      }
+      std::size_t len = framed.size() - off;
+      if (FaultPlan::hit(FaultPoint::kWriteShort, &arg))
+        len = static_cast<std::size_t>(
+            std::clamp<std::int64_t>(arg == 0 ? 1 : arg, 1,
+                                     static_cast<std::int64_t>(len)));
       // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
-      n = ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+      n = ::send(fd_, framed.data() + off, len, MSG_NOSIGNAL);
     } while (n < 0 && errno == EINTR);
-    if (n < 0) throw_errno("write");
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) throw IoTimeout("write");
+      throw_errno("write");
+    }
     off += static_cast<std::size_t>(n);
   }
+}
+
+void UnixConn::set_timeouts(int rcv_ms, int snd_ms) {
+  const auto set = [this](int opt, int ms) {
+    if (ms <= 0) return;
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    if (::setsockopt(fd_, SOL_SOCKET, opt, &tv, sizeof tv) != 0)
+      throw_errno("setsockopt");
+  };
+  set(SO_RCVTIMEO, rcv_ms);
+  set(SO_SNDTIMEO, snd_ms);
 }
 
 void UnixConn::shutdown_both() {
@@ -133,6 +181,10 @@ UnixListener::~UnixListener() {
 
 UnixConn UnixListener::accept() {
   for (;;) {
+    if (FaultPlan::hit(FaultPoint::kAcceptEintr)) {
+      errno = EINTR;
+      continue;  // exercised exactly like a real interrupted accept(2)
+    }
     const int fd = ::accept(fd_, nullptr, nullptr);
     if (fd >= 0) return UnixConn(fd);
     if (errno == EINTR) continue;
@@ -141,12 +193,12 @@ UnixConn UnixListener::accept() {
 }
 
 void UnixListener::close() {
-  if (fd_ >= 0) {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
     // shutdown() first: reliably wakes an accept() blocked in another
     // thread, where a bare close() can leave it sleeping.
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

@@ -9,10 +9,32 @@
 // TCP listener can slot in later without touching the protocol.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 
 namespace tgs {
+
+/// read_line hit its max_line bound without seeing a '\n'. Distinct from
+/// generic I/O failure so the server can answer with a structured
+/// `bad_request` before dropping the (unframeable) connection instead of
+/// silently hanging up on an oversized or malicious request.
+class LineTooLong : public std::runtime_error {
+ public:
+  explicit LineTooLong(std::size_t limit)
+      : std::runtime_error("line exceeds " + std::to_string(limit) +
+                           " bytes") {}
+};
+
+/// A read or write ran past the socket's SO_RCVTIMEO/SO_SNDTIMEO window
+/// (set_timeouts). Distinct so callers can treat a stalled peer
+/// differently from a vanished one.
+class IoTimeout : public std::runtime_error {
+ public:
+  explicit IoTimeout(const char* op)
+      : std::runtime_error(std::string(op) + " timed out") {}
+};
 
 /// A connected stream socket with buffered line reads. Movable, not
 /// copyable; closes on destruction.
@@ -34,13 +56,22 @@ class UnixConn {
   int fd() const { return fd_; }
 
   /// Read up to the next '\n' (consumed, not returned). Returns false on
-  /// clean EOF with no buffered partial line; throws std::runtime_error on
-  /// I/O errors or when a line exceeds `max_line` bytes.
+  /// clean EOF with no buffered partial line; throws LineTooLong when a
+  /// line exceeds `max_line` bytes, IoTimeout when a receive timeout is
+  /// set and expires, std::runtime_error on other I/O errors. EINTR is
+  /// retried, short reads are accumulated.
   bool read_line(std::string* line, std::size_t max_line = kMaxLine);
 
-  /// Write `line` plus '\n', looping over partial writes. Throws
+  /// Write `line` plus '\n', looping over partial writes and EINTR.
+  /// Throws IoTimeout when a send timeout is set and expires,
   /// std::runtime_error when the peer is gone.
   void write_line(const std::string& line);
+
+  /// Kernel-level receive/send timeouts (SO_RCVTIMEO/SO_SNDTIMEO) in
+  /// milliseconds; 0 leaves that direction blocking indefinitely. The
+  /// daemon caps how long a worker can be held by a stalled reader, the
+  /// client bounds how long it waits on a hung daemon.
+  void set_timeouts(int rcv_ms, int snd_ms);
 
   /// Shut down both directions (wakes a blocked read_line in another
   /// thread) without releasing the fd.
@@ -80,7 +111,9 @@ class UnixListener {
 
  private:
   std::string path_;
-  int fd_ = -1;
+  // Atomic: close() is called from the stop path while another thread is
+  // blocked in (or racing toward) accept() on the same fd.
+  std::atomic<int> fd_{-1};
 };
 
 }  // namespace tgs

@@ -58,6 +58,10 @@ ServerStats::Snapshot ServerStats::snapshot() const {
   s.requests_ok = requests_ok_;
   s.requests_error = requests_error_;
   s.requests_rejected = requests_rejected_;
+  s.deadline_exceeded = deadline_exceeded_;
+  s.shed_requests = shed_requests_;
+  s.retries_observed = retries_observed_;
+  s.cache_insert_failures = cache_insert_failures_;
   for (const auto& [name, as] : algos_) {
     AlgoSnapshot a;
     a.algo = name;

@@ -52,6 +52,12 @@ class ServerStats {
   void count_error() { bump(&requests_error_); }
   void count_rejected() { bump(&requests_rejected_); }
 
+  // Robustness counters (the fault/degradation surface of the stats op).
+  void count_deadline_exceeded() { bump(&deadline_exceeded_); }
+  void count_shed() { bump(&shed_requests_); }
+  void count_retry_observed() { bump(&retries_observed_); }
+  void count_cache_insert_failure() { bump(&cache_insert_failures_); }
+
   /// Record one computed schedule for `algo` taking `micros`.
   void record_latency(const std::string& algo, std::uint64_t micros);
 
@@ -72,6 +78,10 @@ class ServerStats {
     std::uint64_t requests_ok = 0;
     std::uint64_t requests_error = 0;
     std::uint64_t requests_rejected = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t shed_requests = 0;
+    std::uint64_t retries_observed = 0;
+    std::uint64_t cache_insert_failures = 0;
     std::vector<AlgoSnapshot> algos;  // sorted by algorithm name
   };
   Snapshot snapshot() const;
@@ -92,6 +102,10 @@ class ServerStats {
   std::uint64_t requests_ok_ = 0;
   std::uint64_t requests_error_ = 0;
   std::uint64_t requests_rejected_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
+  std::uint64_t shed_requests_ = 0;
+  std::uint64_t retries_observed_ = 0;
+  std::uint64_t cache_insert_failures_ = 0;
   std::map<std::string, AlgoStats> algos_;
 };
 

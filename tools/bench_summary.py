@@ -22,6 +22,16 @@ Usage:
         no slopes to fit). The value range is printed next to the exponent
         so sub-millisecond noise floors are visible.
 
+    bench_summary.py --serve-stats FILE [FILE ...]
+        Summarize tgs_serve `stats` responses (one JSON object per line,
+        as printed by `tgs_client --stats`; multiple snapshots and files
+        are aggregated by taking each counter's max, since the daemon's
+        counters are monotonic within one run). Prints the request
+        outcomes, the robustness counters (deadline_exceeded,
+        shed_requests, retries_observed, cache_insert_failures), the
+        cache surface, journal recovery/compaction counters, and the
+        per-algorithm latency table. Exit 1 if no stats line parsed.
+
     bench_summary.py --ranks FILE.jsonl [--value-field value] [--top N]
         Per-algorithm ranking table. Rows are grouped by sweep coordinate
         (all identity fields except column); inside each group the columns
@@ -243,6 +253,74 @@ def scaling(path, value_field):
     return 0
 
 
+def serve_stats(paths):
+    """Aggregate and pretty-print tgs_serve stats-op snapshots."""
+    snaps = []
+    for path in paths:
+        rows, bad = load_rows(path)
+        if bad:
+            print(f"warning: {path}: {len(bad)} unparseable lines skipped",
+                  file=sys.stderr)
+        snaps.extend(r for r in rows if r.get("op") == "stats")
+    if not snaps:
+        print("no stats responses found (expect `tgs_client --stats` output,"
+              " one JSON object per line)")
+        return 1
+
+    def peak(field):
+        vals = [s[field] for s in snaps if is_numeric(s.get(field))]
+        return max(vals) if vals else 0
+
+    print(f"== serve stats: {len(snaps)} snapshot(s) aggregated (per-counter"
+          " max)")
+    print("  requests:")
+    for field in ("requests_total", "requests_ok", "requests_error",
+                  "requests_rejected"):
+        print(f"    {field:<22} {fmt(peak(field))}")
+    print("  robustness:")
+    for field in ("deadline_exceeded", "shed_requests", "retries_observed",
+                  "cache_insert_failures"):
+        print(f"    {field:<22} {fmt(peak(field))}")
+    print("  cache:")
+    for field in ("cache_hits", "cache_misses", "cache_evictions",
+                  "cache_size", "cache_capacity"):
+        print(f"    {field:<22} {fmt(peak(field))}")
+
+    journals = [s.get("journal") for s in snaps
+                if isinstance(s.get("journal"), dict)]
+    if journals:
+        print("  journal:")
+        for field in ("replayed", "truncated_bytes", "appends",
+                      "compactions"):
+            vals = [j[field] for j in journals if is_numeric(j.get(field))]
+            print(f"    {field:<22} {fmt(max(vals)) if vals else 0}")
+        if any(j.get("tail_truncated") for j in journals):
+            print("    tail_truncated         yes (a torn tail was recovered)")
+
+    # Per-algorithm latency: keep the snapshot with the most computations
+    # per algorithm (counters are monotonic, so that is the latest view).
+    algos = {}
+    for s in snaps:
+        for name, a in (s.get("algos") or {}).items():
+            if not isinstance(a, dict):
+                continue
+            if name not in algos or \
+                    a.get("computed", 0) >= algos[name].get("computed", 0):
+                algos[name] = a
+    if algos:
+        width = max(len(n) for n in algos)
+        print(f"  {'algo':<{width}} {'computed':>9} {'hits':>6} "
+              f"{'p50_us':>9} {'p90_us':>9} {'max_us':>9}")
+        for name in sorted(algos):
+            a = algos[name]
+            print(f"  {name:<{width}} {fmt(a.get('computed', 0)):>9}"
+                  f" {fmt(a.get('cache_hits', 0)):>6}"
+                  f" {fmt(a.get('p50_us', 0)):>9}"
+                  f" {fmt(a.get('p90_us', 0)):>9}"
+                  f" {fmt(a.get('max_us', 0)):>9}")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -253,11 +331,16 @@ def main():
                     help="per-column mean-rank table of one file")
     ap.add_argument("--scaling", action="store_true",
                     help="per-column log-log scaling exponents of one file")
+    ap.add_argument("--serve-stats", action="store_true",
+                    help="summarize tgs_serve stats-op snapshots")
     ap.add_argument("--value-field", default="value",
                     help="field to rank by (default: value)")
     ap.add_argument("--top", type=int, default=25,
                     help="ranking rows to print (default: 25)")
     args = ap.parse_args()
+
+    if args.serve_stats:
+        return serve_stats(args.files)
 
     if args.diff:
         if len(args.files) != 2:
